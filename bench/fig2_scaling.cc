@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Figure 2: verification time as a function of structure
+ * sizes (register file, data memory, re-order buffer), for
+ * NoFwd_futuristic under sandboxing and Delay_spectre under
+ * constant-time.
+ *
+ * Expected shape (paper): register-file size has negligible impact; data
+ * memory has limited impact on sandboxing and a larger one on
+ * constant-time; ROB size dominates, with verification time growing
+ * exponentially (log-scale y axis in the paper).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "verif/task.h"
+
+using namespace csl;
+
+namespace {
+
+double
+timeFor(defense::Defense defense, contract::Contract contract,
+        int reg_count, size_t dmem, int rob, double budget,
+        std::string &verdict)
+{
+    verif::VerificationTask task;
+    task.core = proc::simpleOoOSpec(defense);
+    task.core.ooo.isa.regCount = reg_count;
+    task.core.ooo.isa.dmemSize = dmem;
+    task.core.ooo.robSize = rob;
+    task.core.ooo.hasCache = false; // plain memory for the sweep
+    task.contract = contract;
+    task.scheme = verif::Scheme::ContractShadow;
+    task.timeoutSeconds = budget;
+    task.maxDepth = 28;
+    verif::VerificationResult res = verif::runVerification(task);
+    verdict = mc::verdictName(res.verdict);
+    return res.seconds;
+}
+
+void
+sweep(const char *title, defense::Defense defense,
+      contract::Contract contract, double budget)
+{
+    bench::banner(title);
+    // Default configuration: 4 registers, 4-word dmem, 4-entry ROB.
+    std::printf("%-22s %10s  %s\n", "sweep point", "time", "verdict");
+    auto line = [&](const char *what, int rc, size_t dm, int rob) {
+        std::string verdict;
+        double t = timeFor(defense, contract, rc, dm, rob, budget,
+                           verdict);
+        char head[64];
+        std::snprintf(head, sizeof(head), "%s", what);
+        std::printf("%-22s %9.2fs  %s\n", head, t, verdict.c_str());
+    };
+    for (int rc : {2, 4, 8, 16}) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "regfile=%d", rc);
+        line(label, rc, 4, 4);
+    }
+    for (size_t dm : {size_t(2), size_t(4), size_t(8), size_t(16)}) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "dmem=%zu", dm);
+        line(label, 4, dm, 4);
+    }
+    for (int rob : {2, 3, 4, 5, 6}) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "rob=%d", rob);
+        line(label, 4, 4, rob);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double budget = bench::budgetSeconds(argc, argv, 150.0);
+    std::printf("Figure 2 reproduction: verification time vs structure "
+                "sizes (budget %.0fs per point)\n",
+                budget);
+    sweep("NoFwd_futuristic / sandboxing",
+          defense::Defense::NoFwdFuturistic,
+          contract::Contract::Sandboxing, budget);
+    sweep("Delay_spectre / constant-time",
+          defense::Defense::DelaySpectre,
+          contract::Contract::ConstantTime, budget);
+    return 0;
+}

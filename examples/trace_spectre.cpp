@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Using the library as a simulator: assemble a hand-written Spectre
+ * gadget, run it on two SimpleOoO instances differing only in the secret
+ * memory, print the memory-bus traces side by side, and dump a VCD
+ * waveform (spectre.vcd) for inspection in any waveform viewer.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "isa/assembler.h"
+#include "proc/presets.h"
+#include "rtl/builder.h"
+#include "sim/simulator.h"
+#include "sim/vcd.h"
+
+int
+main()
+{
+    using namespace csl;
+
+    proc::CoreSpec spec = proc::simpleOoOSpec(defense::Defense::None);
+    const isa::IsaConfig &ic = spec.isaConfig();
+
+    const char *gadget = R"(
+        ld r1, [r0]      # slow branch-condition producer
+        add r1, r1, r1   # lengthen the chain: branch resolves late
+        beqz r1, +3      # mispredicted (predict-not-taken, taken)
+        ld r2, [r3]      # transient: load the secret (r3 = 2)
+        ld r2, [r2]      # transient: secret value becomes a bus address
+        nop
+    )";
+    auto program = isa::assemble(gadget, ic);
+    std::printf("gadget:\n%s\n",
+                isa::disassembleProgram(program, ic).c_str());
+
+    auto run = [&](uint64_t secret, bool dump_vcd) {
+        rtl::Circuit circuit;
+        rtl::Builder b(circuit);
+        proc::CoreIfc cpu = proc::buildCore(b, spec, "cpu");
+        b.finish();
+
+        sim::Simulator simulator(circuit);
+        std::unordered_map<rtl::NetId, uint64_t> init;
+        for (size_t i = 0; i < program.size(); ++i)
+            init[cpu.imemWords[i].id] = program[i];
+        uint64_t dmem[4] = {0, 1, secret, 3};
+        for (size_t i = 0; i < 4; ++i)
+            init[cpu.dmemWords[i].id] = dmem[i];
+        uint64_t regs[4] = {0, 0, 0, 2};
+        for (size_t i = 0; i < 4; ++i)
+            init[cpu.archRegs[i].id] = regs[i];
+        simulator.reset(init);
+
+        std::ofstream vcd_file;
+        std::unique_ptr<sim::VcdWriter> vcd;
+        if (dump_vcd) {
+            vcd_file.open("spectre.vcd");
+            vcd = std::make_unique<sim::VcdWriter>(vcd_file, circuit);
+        }
+
+        std::printf("secret=%llu bus trace:",
+                    static_cast<unsigned long long>(secret));
+        std::vector<uint64_t> bus;
+        for (int t = 0; t < 24; ++t) {
+            simulator.evaluate();
+            if (simulator.value(cpu.memBusValid.id))
+                std::printf(" %llu",
+                            static_cast<unsigned long long>(
+                                simulator.value(cpu.memBusAddr.id)));
+            if (vcd)
+                vcd->sample(simulator);
+            simulator.tick();
+        }
+        std::printf("\n");
+    };
+
+    run(9, true);
+    run(5, false);
+    std::printf("\nThe secret value appears directly as a transient bus "
+                "address - the\nSpectre leak this repository's "
+                "verification schemes detect and prove absent.\n"
+                "Waveform written to spectre.vcd\n");
+    return 0;
+}

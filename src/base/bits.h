@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the library. All word-level
+ * values in the RTL IR are carried in uint64_t lanes of at most 64 bits.
+ */
+
+#ifndef CSL_BASE_BITS_H_
+#define CSL_BASE_BITS_H_
+
+#include <cstdint>
+
+#include "base/logging.h"
+
+namespace csl {
+
+/** Maximum width, in bits, of a single IR net. */
+inline constexpr int kMaxNetWidth = 64;
+
+/** Mask with the low @p width bits set (width in [0, 64]). */
+inline uint64_t
+maskBits(int width)
+{
+    csl_assert(width >= 0 && width <= kMaxNetWidth, "bad width ", width);
+    return width == kMaxNetWidth ? ~0ull : ((1ull << width) - 1);
+}
+
+/** Truncate @p value to the low @p width bits. */
+inline uint64_t
+truncBits(uint64_t value, int width)
+{
+    return value & maskBits(width);
+}
+
+/** Extract bit @p index of @p value. */
+inline bool
+bitAt(uint64_t value, int index)
+{
+    return (value >> index) & 1;
+}
+
+/** Number of bits needed to represent values 0..n-1 (at least 1). */
+inline int
+bitsFor(uint64_t n)
+{
+    int w = 1;
+    while (n > (1ull << w))
+        ++w;
+    return w;
+}
+
+/** True when @p n is a power of two (n > 0). */
+inline bool
+isPowerOfTwo(uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+} // namespace csl
+
+#endif // CSL_BASE_BITS_H_

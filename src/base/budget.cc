@@ -1,0 +1,4 @@
+#include "base/budget.h"
+
+// Budget is header-only today; this translation unit anchors the header so
+// the build catches missing includes early.

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Resource budgets. Verification tasks in the paper run against a wall-clock
+ * timeout (7 days on their Xeon server); our tasks carry an explicit Budget
+ * so each engine can report Timeout instead of running forever.
+ */
+
+#ifndef CSL_BASE_BUDGET_H_
+#define CSL_BASE_BUDGET_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "base/stopwatch.h"
+
+namespace csl {
+
+/**
+ * A wall-clock + work-unit budget shared by an engine invocation.
+ *
+ * The SAT solver charges one work unit per conflict; simulation-based
+ * engines charge per simulated cycle. Either limit expiring marks the
+ * budget as exhausted.
+ */
+class Budget
+{
+  public:
+    /** Unlimited budget. */
+    Budget() = default;
+
+    explicit Budget(double seconds,
+                    uint64_t work_limit =
+                        std::numeric_limits<uint64_t>::max())
+        : secondsLimit_(seconds), workLimit_(work_limit)
+    {}
+
+    /** Charge @p units of work against the budget. */
+    void charge(uint64_t units = 1) { workUsed_ += units; }
+
+    /** True once either the time or the work limit has been exceeded. */
+    bool
+    exhausted() const
+    {
+        if (workUsed_ > workLimit_)
+            return true;
+        // Only consult the clock occasionally; it is comparatively slow.
+        if (checkCounter_++ % 256 == 0)
+            timeExpired_ = watch_.seconds() > secondsLimit_;
+        return timeExpired_;
+    }
+
+    /** Elapsed wall-clock seconds since the budget was created. */
+    double elapsed() const { return watch_.seconds(); }
+
+    /** Work units consumed so far. */
+    uint64_t workUsed() const { return workUsed_; }
+
+    /** Remaining seconds (clamped at zero). */
+    double
+    secondsLeft() const
+    {
+        double left = secondsLimit_ - watch_.seconds();
+        return left > 0 ? left : 0;
+    }
+
+  private:
+    Stopwatch watch_;
+    double secondsLimit_ = std::numeric_limits<double>::infinity();
+    uint64_t workLimit_ = std::numeric_limits<uint64_t>::max();
+    uint64_t workUsed_ = 0;
+    mutable uint64_t checkCounter_ = 0;
+    mutable bool timeExpired_ = false;
+};
+
+} // namespace csl
+
+#endif // CSL_BASE_BUDGET_H_

@@ -1,0 +1,53 @@
+#include "base/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace csl {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+logImpl(LogLevel level, const std::string &msg)
+{
+    if (level > g_level)
+        return;
+    const char *tag = level == LogLevel::Warn ? "warn"
+                    : level == LogLevel::Info ? "info"
+                                              : "debug";
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace csl

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Status and error reporting for the csl library, in the spirit of gem5's
+ * logging facilities: panic() for internal bugs, fatal() for user errors,
+ * warn()/inform() for status messages.
+ */
+
+#ifndef CSL_BASE_LOGGING_H_
+#define CSL_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace csl {
+
+/** Verbosity levels for non-fatal messages. */
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Global verbosity threshold; messages above it are suppressed. */
+LogLevel logLevel();
+
+/** Set the global verbosity threshold. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void logImpl(LogLevel level, const std::string &msg);
+
+/** Build a message from stream-able parts. */
+template <typename... Args>
+std::string
+formatMsg(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace csl
+
+/** Report an internal library bug and abort. */
+#define csl_panic(...) \
+    ::csl::detail::panicImpl(__FILE__, __LINE__, \
+                             ::csl::detail::formatMsg(__VA_ARGS__))
+
+/** Report an unrecoverable user error and exit(1). */
+#define csl_fatal(...) \
+    ::csl::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::csl::detail::formatMsg(__VA_ARGS__))
+
+/** Warn about suspicious but survivable conditions. */
+#define csl_warn(...) \
+    ::csl::detail::logImpl(::csl::LogLevel::Warn, \
+                           ::csl::detail::formatMsg(__VA_ARGS__))
+
+/** Informative status message. */
+#define csl_inform(...) \
+    ::csl::detail::logImpl(::csl::LogLevel::Info, \
+                           ::csl::detail::formatMsg(__VA_ARGS__))
+
+/** Assert an internal invariant; panics with a message on failure. */
+#define csl_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::csl::detail::panicImpl(__FILE__, __LINE__, \
+                ::csl::detail::formatMsg("assertion failed: " #cond " ", \
+                                         ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // CSL_BASE_LOGGING_H_

@@ -1,0 +1,29 @@
+#include "base/stopwatch.h"
+
+#include <cstdio>
+
+namespace csl {
+
+double
+Stopwatch::seconds() const
+{
+    auto delta = Clock::now() - start_;
+    return std::chrono::duration<double>(delta).count();
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    char buf[64];
+    if (seconds < 1.0)
+        std::snprintf(buf, sizeof(buf), "%.0fms", seconds * 1e3);
+    else if (seconds < 120.0)
+        std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+    else if (seconds < 7200.0)
+        std::snprintf(buf, sizeof(buf), "%.1fmin", seconds / 60.0);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1fh", seconds / 3600.0);
+    return buf;
+}
+
+} // namespace csl

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wall-clock stopwatch used to report verification times in the benches.
+ */
+
+#ifndef CSL_BASE_STOPWATCH_H_
+#define CSL_BASE_STOPWATCH_H_
+
+#include <chrono>
+#include <string>
+
+namespace csl {
+
+/** A simple wall-clock stopwatch, started on construction. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or the last reset(). */
+    double seconds() const;
+
+    /** Elapsed milliseconds. */
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/** Render a duration as a human-friendly string, e.g. "1.5s", "2.3min". */
+std::string formatSeconds(double seconds);
+
+} // namespace csl
+
+#endif // CSL_BASE_STOPWATCH_H_

@@ -1,0 +1,271 @@
+#include "bitblast/cnf_builder.h"
+
+#include "base/bits.h"
+#include "base/logging.h"
+
+namespace csl::bitblast {
+
+using sat::Lit;
+
+CnfBuilder::CnfBuilder(sat::Solver &solver) : solver_(solver)
+{
+    true_ = sat::mkLit(solver_.newVar());
+    solver_.addClause(true_);
+}
+
+Lit
+CnfBuilder::fresh()
+{
+    return sat::mkLit(solver_.newVar());
+}
+
+Lit
+CnfBuilder::andLit(Lit a, Lit b)
+{
+    if (isFalse(a) || isFalse(b))
+        return falseLit();
+    if (isTrue(a))
+        return b;
+    if (isTrue(b))
+        return a;
+    if (a == b)
+        return a;
+    if (a == ~b)
+        return falseLit();
+    Lit y = fresh();
+    solver_.addClause(~y, a);
+    solver_.addClause(~y, b);
+    solver_.addClause(y, ~a, ~b);
+    return y;
+}
+
+Lit
+CnfBuilder::orLit(Lit a, Lit b)
+{
+    return ~andLit(~a, ~b);
+}
+
+Lit
+CnfBuilder::xorLit(Lit a, Lit b)
+{
+    if (isConst(a) && isConst(b))
+        return litConst(isTrue(a) != isTrue(b));
+    if (isFalse(a))
+        return b;
+    if (isFalse(b))
+        return a;
+    if (isTrue(a))
+        return ~b;
+    if (isTrue(b))
+        return ~a;
+    if (a == b)
+        return falseLit();
+    if (a == ~b)
+        return trueLit();
+    Lit y = fresh();
+    solver_.addClause(~y, a, b);
+    solver_.addClause(~y, ~a, ~b);
+    solver_.addClause(y, ~a, b);
+    solver_.addClause(y, a, ~b);
+    return y;
+}
+
+Lit
+CnfBuilder::muxLit(Lit sel, Lit then_l, Lit else_l)
+{
+    if (isTrue(sel))
+        return then_l;
+    if (isFalse(sel))
+        return else_l;
+    if (then_l == else_l)
+        return then_l;
+    if (isTrue(then_l) && isFalse(else_l))
+        return sel;
+    if (isFalse(then_l) && isTrue(else_l))
+        return ~sel;
+    if (isFalse(then_l))
+        return andLit(~sel, else_l);
+    if (isTrue(then_l))
+        return orLit(sel, else_l);
+    if (isFalse(else_l))
+        return andLit(sel, then_l);
+    if (isTrue(else_l))
+        return orLit(~sel, then_l);
+    Lit y = fresh();
+    solver_.addClause(~y, ~sel, then_l);
+    solver_.addClause(~y, sel, else_l);
+    solver_.addClause(y, ~sel, ~then_l);
+    solver_.addClause(y, sel, ~else_l);
+    // Redundant but propagation-friendly clauses.
+    solver_.addClause(~y, then_l, else_l);
+    solver_.addClause(y, ~then_l, ~else_l);
+    return y;
+}
+
+Lit
+CnfBuilder::andAll(const std::vector<Lit> &lits)
+{
+    Lit acc = trueLit();
+    for (Lit l : lits)
+        acc = andLit(acc, l);
+    return acc;
+}
+
+Lit
+CnfBuilder::orAll(const std::vector<Lit> &lits)
+{
+    Lit acc = falseLit();
+    for (Lit l : lits)
+        acc = orLit(acc, l);
+    return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Words
+
+Word
+CnfBuilder::constWord(uint64_t value, int width)
+{
+    Word w(width);
+    for (int i = 0; i < width; ++i)
+        w[i] = litConst(bitAt(value, i));
+    return w;
+}
+
+Word
+CnfBuilder::freshWord(int width)
+{
+    Word w(width);
+    for (int i = 0; i < width; ++i)
+        w[i] = fresh();
+    return w;
+}
+
+Word
+CnfBuilder::notWord(const Word &a)
+{
+    Word w(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        w[i] = ~a[i];
+    return w;
+}
+
+Word
+CnfBuilder::andWord(const Word &a, const Word &b)
+{
+    csl_assert(a.size() == b.size(), "word width mismatch");
+    Word w(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        w[i] = andLit(a[i], b[i]);
+    return w;
+}
+
+Word
+CnfBuilder::orWord(const Word &a, const Word &b)
+{
+    csl_assert(a.size() == b.size(), "word width mismatch");
+    Word w(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        w[i] = orLit(a[i], b[i]);
+    return w;
+}
+
+Word
+CnfBuilder::xorWord(const Word &a, const Word &b)
+{
+    csl_assert(a.size() == b.size(), "word width mismatch");
+    Word w(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        w[i] = xorLit(a[i], b[i]);
+    return w;
+}
+
+Word
+CnfBuilder::muxWord(Lit sel, const Word &then_w, const Word &else_w)
+{
+    csl_assert(then_w.size() == else_w.size(), "word width mismatch");
+    Word w(then_w.size());
+    for (size_t i = 0; i < then_w.size(); ++i)
+        w[i] = muxLit(sel, then_w[i], else_w[i]);
+    return w;
+}
+
+Word
+CnfBuilder::adder(const Word &a, const Word &b, Lit carry_in)
+{
+    Word sum(a.size());
+    Lit carry = carry_in;
+    for (size_t i = 0; i < a.size(); ++i) {
+        Lit axb = xorLit(a[i], b[i]);
+        sum[i] = xorLit(axb, carry);
+        // carry' = (a & b) | (carry & (a ^ b))
+        carry = orLit(andLit(a[i], b[i]), andLit(carry, axb));
+    }
+    return sum;
+}
+
+Word
+CnfBuilder::addWord(const Word &a, const Word &b)
+{
+    csl_assert(a.size() == b.size(), "word width mismatch");
+    return adder(a, b, falseLit());
+}
+
+Word
+CnfBuilder::subWord(const Word &a, const Word &b)
+{
+    csl_assert(a.size() == b.size(), "word width mismatch");
+    return adder(a, notWord(b), trueLit());
+}
+
+Word
+CnfBuilder::mulWord(const Word &a, const Word &b)
+{
+    csl_assert(a.size() == b.size(), "word width mismatch");
+    const int width = static_cast<int>(a.size());
+    Word acc = constWord(0, width);
+    for (int i = 0; i < width; ++i) {
+        // addend = (a << i) gated by b[i], truncated to width.
+        Word addend = constWord(0, width);
+        for (int j = 0; j + i < width; ++j)
+            addend[j + i] = andLit(a[j], b[i]);
+        acc = addWord(acc, addend);
+    }
+    return acc;
+}
+
+Lit
+CnfBuilder::eqWord(const Word &a, const Word &b)
+{
+    csl_assert(a.size() == b.size(), "word width mismatch");
+    std::vector<Lit> bits(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        bits[i] = eqLit(a[i], b[i]);
+    return andAll(bits);
+}
+
+Lit
+CnfBuilder::ultWord(const Word &a, const Word &b)
+{
+    csl_assert(a.size() == b.size(), "word width mismatch");
+    Lit lt = falseLit();
+    for (size_t i = 0; i < a.size(); ++i) {
+        // From LSB to MSB: higher bits dominate.
+        Lit bit_lt = andLit(~a[i], b[i]);
+        Lit bit_eq = eqLit(a[i], b[i]);
+        lt = orLit(bit_lt, andLit(bit_eq, lt));
+    }
+    return lt;
+}
+
+uint64_t
+CnfBuilder::wordValue(const Word &w) const
+{
+    uint64_t v = 0;
+    for (size_t i = 0; i < w.size(); ++i)
+        if (solver_.modelValue(w[i]))
+            v |= 1ull << i;
+    return v;
+}
+
+} // namespace csl::bitblast

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tseitin-style CNF construction over a Solver: boolean gates plus
+ * word-level operations on little-endian literal vectors.
+ */
+
+#ifndef CSL_BITBLAST_CNF_BUILDER_H_
+#define CSL_BITBLAST_CNF_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/solver.h"
+
+namespace csl::bitblast {
+
+/** A word as a little-endian vector of literals (bit 0 first). */
+using Word = std::vector<sat::Lit>;
+
+/**
+ * Emits Tseitin clauses into a Solver. Gate constructors perform constant
+ * propagation against the dedicated true literal, so folded circuit logic
+ * stays folded in CNF.
+ */
+class CnfBuilder
+{
+  public:
+    explicit CnfBuilder(sat::Solver &solver);
+
+    sat::Solver &solver() { return solver_; }
+
+    /** The always-true literal. */
+    sat::Lit trueLit() const { return true_; }
+    sat::Lit falseLit() const { return ~true_; }
+    sat::Lit litConst(bool b) const { return b ? true_ : ~true_; }
+
+    /** Fresh unconstrained literal. */
+    sat::Lit fresh();
+
+    // --- Gates -----------------------------------------------------------
+    sat::Lit andLit(sat::Lit a, sat::Lit b);
+    sat::Lit orLit(sat::Lit a, sat::Lit b);
+    sat::Lit xorLit(sat::Lit a, sat::Lit b);
+    sat::Lit muxLit(sat::Lit sel, sat::Lit then_l, sat::Lit else_l);
+    sat::Lit eqLit(sat::Lit a, sat::Lit b) { return ~xorLit(a, b); }
+    sat::Lit andAll(const std::vector<sat::Lit> &lits);
+    sat::Lit orAll(const std::vector<sat::Lit> &lits);
+
+    /** Force @p l true (unit clause). */
+    void assertLit(sat::Lit l) { solver_.addClause(l); }
+
+    // --- Words -----------------------------------------------------------
+    Word constWord(uint64_t value, int width);
+    Word freshWord(int width);
+    Word notWord(const Word &a);
+    Word andWord(const Word &a, const Word &b);
+    Word orWord(const Word &a, const Word &b);
+    Word xorWord(const Word &a, const Word &b);
+    Word muxWord(sat::Lit sel, const Word &then_w, const Word &else_w);
+    Word addWord(const Word &a, const Word &b);
+    Word subWord(const Word &a, const Word &b);
+    Word mulWord(const Word &a, const Word &b);
+    sat::Lit eqWord(const Word &a, const Word &b);
+    sat::Lit ultWord(const Word &a, const Word &b);
+
+    /** Model value of @p w after a Sat result. */
+    uint64_t wordValue(const Word &w) const;
+
+  private:
+    bool isTrue(sat::Lit l) const { return l == true_; }
+    bool isFalse(sat::Lit l) const { return l == ~true_; }
+    bool isConst(sat::Lit l) const { return isTrue(l) || isFalse(l); }
+
+    /** Ripple adder core with carry-in. */
+    Word adder(const Word &a, const Word &b, sat::Lit carry_in);
+
+    sat::Solver &solver_;
+    sat::Lit true_;
+};
+
+} // namespace csl::bitblast
+
+#endif // CSL_BITBLAST_CNF_BUILDER_H_

@@ -1,0 +1,89 @@
+#include "bitblast/encoder.h"
+
+#include "base/logging.h"
+
+namespace csl::bitblast {
+
+using rtl::Net;
+using rtl::NetId;
+using rtl::Op;
+
+FrameEncoder::FrameEncoder(const rtl::Circuit &circuit, CnfBuilder &cnf,
+                           const std::vector<bool> &cone)
+    : circuit_(circuit), cnf_(cnf), cone_(cone)
+{
+    csl_assert(circuit.finalized(), "encode requires a finalized circuit");
+}
+
+void
+FrameEncoder::encode(const std::vector<Word> &reg_words)
+{
+    const NetId count = static_cast<NetId>(circuit_.numNets());
+    words_.assign(count, {});
+    for (NetId id = 0; id < count; ++id) {
+        if (!cone_[id])
+            continue;
+        const Net &n = circuit_.net(id);
+        switch (n.op) {
+          case Op::Const:
+            words_[id] = cnf_.constWord(n.imm, n.width);
+            break;
+          case Op::Input:
+            words_[id] = cnf_.freshWord(n.width);
+            break;
+          case Op::Reg:
+            csl_assert(!reg_words[id].empty(),
+                       "missing register word for ", circuit_.name(id));
+            words_[id] = reg_words[id];
+            break;
+          case Op::Not:
+            words_[id] = cnf_.notWord(words_[n.a]);
+            break;
+          case Op::And:
+            words_[id] = cnf_.andWord(words_[n.a], words_[n.b]);
+            break;
+          case Op::Or:
+            words_[id] = cnf_.orWord(words_[n.a], words_[n.b]);
+            break;
+          case Op::Xor:
+            words_[id] = cnf_.xorWord(words_[n.a], words_[n.b]);
+            break;
+          case Op::Mux:
+            words_[id] = cnf_.muxWord(words_[n.a][0], words_[n.b],
+                                      words_[n.c]);
+            break;
+          case Op::Add:
+            words_[id] = cnf_.addWord(words_[n.a], words_[n.b]);
+            break;
+          case Op::Sub:
+            words_[id] = cnf_.subWord(words_[n.a], words_[n.b]);
+            break;
+          case Op::Mul:
+            words_[id] = cnf_.mulWord(words_[n.a], words_[n.b]);
+            break;
+          case Op::Eq:
+            words_[id] = {cnf_.eqWord(words_[n.a], words_[n.b])};
+            break;
+          case Op::Ult:
+            words_[id] = {cnf_.ultWord(words_[n.a], words_[n.b])};
+            break;
+          case Op::Concat: {
+            Word w = words_[n.b];
+            const Word &hi = words_[n.a];
+            w.insert(w.end(), hi.begin(), hi.end());
+            words_[id] = std::move(w);
+            break;
+          }
+          case Op::Slice: {
+            const Word &src = words_[n.a];
+            words_[id] = Word(src.begin() + n.imm,
+                              src.begin() + n.imm + n.width);
+            break;
+          }
+        }
+        csl_assert(static_cast<int>(words_[id].size()) == n.width,
+                   "encoded width mismatch at net ", id);
+    }
+}
+
+} // namespace csl::bitblast

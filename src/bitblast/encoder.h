@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Encodes one combinational time-frame of a Circuit into CNF.
+ */
+
+#ifndef CSL_BITBLAST_ENCODER_H_
+#define CSL_BITBLAST_ENCODER_H_
+
+#include <vector>
+
+#include "bitblast/cnf_builder.h"
+#include "rtl/circuit.h"
+
+namespace csl::bitblast {
+
+/**
+ * Per-frame net encoding. Register nets take their words from the caller
+ * (the Unroller threads state across frames); everything else is encoded
+ * on demand in net-id order, restricted to the cone of influence.
+ */
+class FrameEncoder
+{
+  public:
+    /**
+     * @param circuit  finalized circuit
+     * @param cnf      CNF sink
+     * @param cone     cone-of-influence bitmap (from Circuit); nets
+     *                 outside the cone get no encoding
+     */
+    FrameEncoder(const rtl::Circuit &circuit, CnfBuilder &cnf,
+                 const std::vector<bool> &cone);
+
+    /**
+     * Encode a frame. @p reg_words supplies the current-state word of
+     * every register in the cone (indexed by NetId). On return,
+     * words()[id] holds each cone net's word for this frame.
+     */
+    void encode(const std::vector<Word> &reg_words);
+
+    const Word &word(rtl::NetId id) const { return words_[id]; }
+    const std::vector<Word> &words() const { return words_; }
+
+  private:
+    const rtl::Circuit &circuit_;
+    CnfBuilder &cnf_;
+    const std::vector<bool> &cone_;
+    std::vector<Word> words_;
+};
+
+} // namespace csl::bitblast
+
+#endif // CSL_BITBLAST_ENCODER_H_

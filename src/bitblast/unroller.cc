@@ -1,0 +1,76 @@
+#include "bitblast/unroller.h"
+
+#include "base/logging.h"
+
+namespace csl::bitblast {
+
+using rtl::Net;
+using rtl::NetId;
+using rtl::Op;
+
+Unroller::Unroller(const rtl::Circuit &circuit, CnfBuilder &cnf,
+                   bool free_initial_state,
+                   const std::vector<rtl::NetId> &extra_roots)
+    : circuit_(circuit), cnf_(cnf), freeInitialState_(free_initial_state),
+      cone_(circuit.coneOfInfluence(extra_roots))
+{
+    // Prepare frame-0 register state.
+    nextRegWords_.assign(circuit_.numNets(), {});
+    for (NetId reg : circuit_.registers()) {
+        if (!cone_[reg])
+            continue;
+        const Net &n = circuit_.net(reg);
+        if (freeInitialState_ || n.symbolicInit)
+            nextRegWords_[reg] = cnf_.freshWord(n.width);
+        else
+            nextRegWords_[reg] = cnf_.constWord(n.imm, n.width);
+    }
+}
+
+void
+Unroller::addFrame()
+{
+    FrameEncoder encoder(circuit_, cnf_, cone_);
+    encoder.encode(nextRegWords_);
+    const size_t frame = frames_.size();
+
+    // Environment assumptions hold in every frame.
+    for (NetId c : circuit_.constraints())
+        cnf_.assertLit(encoder.word(c)[0]);
+    if (frame == 0 && !freeInitialState_) {
+        for (NetId c : circuit_.initConstraints())
+            cnf_.assertLit(encoder.word(c)[0]);
+    }
+
+    std::vector<sat::Lit> bads;
+    bads.reserve(circuit_.bads().size());
+    for (NetId b : circuit_.bads())
+        bads.push_back(encoder.word(b)[0]);
+    badLits_.push_back(cnf_.orAll(bads));
+
+    // Thread register state into the next frame.
+    for (NetId reg : circuit_.registers()) {
+        if (!cone_[reg])
+            continue;
+        nextRegWords_[reg] = encoder.word(circuit_.net(reg).a);
+    }
+
+    frames_.push_back(encoder.words());
+}
+
+const Word &
+Unroller::wordOf(NetId net, size_t frame) const
+{
+    csl_assert(frame < frames_.size(), "frame out of range");
+    csl_assert(cone_[net], "net ", circuit_.name(net),
+               " is outside the property cone");
+    return frames_[frame][net];
+}
+
+uint64_t
+Unroller::valueOf(NetId net, size_t frame) const
+{
+    return cnf_.wordValue(wordOf(net, frame));
+}
+
+} // namespace csl::bitblast

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Time-frame expansion of a Circuit into CNF for bounded model checking
+ * and k-induction.
+ */
+
+#ifndef CSL_BITBLAST_UNROLLER_H_
+#define CSL_BITBLAST_UNROLLER_H_
+
+#include <vector>
+
+#include "bitblast/cnf_builder.h"
+#include "bitblast/encoder.h"
+#include "rtl/circuit.h"
+
+namespace csl::bitblast {
+
+/**
+ * Maintains an incrementally growing unrolling of a circuit.
+ *
+ * Frame f holds the values of all cone nets at cycle f. Constraint nets
+ * are asserted as unit clauses in every frame as it is created; init
+ * constraints are asserted at frame 0 unless the initial state is free
+ * (the k-induction step case).
+ */
+class Unroller
+{
+  public:
+    /**
+     * @param circuit            finalized circuit
+     * @param cnf                CNF sink (owning solver shared by caller)
+     * @param free_initial_state when true, frame-0 registers are fresh
+     *                           variables and init constraints are skipped
+     * @param extra_roots        additional nets to keep inside the encoded
+     *                           cone (e.g. candidate invariants)
+     */
+    Unroller(const rtl::Circuit &circuit, CnfBuilder &cnf,
+             bool free_initial_state,
+             const std::vector<rtl::NetId> &extra_roots = {});
+
+    /** Number of encoded frames. */
+    size_t numFrames() const { return frames_.size(); }
+
+    /** Encode one more frame. */
+    void addFrame();
+
+    /** Encode frames until numFrames() == n. */
+    void
+    ensureFrames(size_t n)
+    {
+        while (numFrames() < n)
+            addFrame();
+    }
+
+    /** OR of all bad nets at @p frame. */
+    sat::Lit badLit(size_t frame) const { return badLits_[frame]; }
+
+    /** Word of @p net at @p frame (net must be inside the cone). */
+    const Word &wordOf(rtl::NetId net, size_t frame) const;
+
+    /** Model value of @p net at @p frame after a Sat result. */
+    uint64_t valueOf(rtl::NetId net, size_t frame) const;
+
+    const std::vector<bool> &cone() const { return cone_; }
+
+  private:
+    const rtl::Circuit &circuit_;
+    CnfBuilder &cnf_;
+    bool freeInitialState_;
+    std::vector<bool> cone_;
+
+    std::vector<std::vector<Word>> frames_; ///< per-frame net words
+    std::vector<sat::Lit> badLits_;
+    std::vector<Word> nextRegWords_; ///< register state entering next frame
+};
+
+} // namespace csl::bitblast
+
+#endif // CSL_BITBLAST_UNROLLER_H_

@@ -1,0 +1,62 @@
+#include "contract/contract.h"
+
+#include "base/logging.h"
+
+namespace csl::contract {
+
+using rtl::Builder;
+using rtl::Sig;
+
+const char *
+contractName(Contract contract)
+{
+    switch (contract) {
+      case Contract::Sandboxing: return "sandboxing";
+      case Contract::ConstantTime: return "constant-time";
+    }
+    return "?";
+}
+
+Sig
+isaObservation(Builder &b, const proc::CommitSlot &slot, Contract contract)
+{
+    auto masked = [&](Sig cond, Sig value) {
+        return b.mux(cond, value, b.lit(0, value.width));
+    };
+    switch (contract) {
+      case Contract::Sandboxing: {
+        // (exception, is-load, loaded value)
+        Sig load_writes = b.andOf(slot.isLoad, slot.writesReg);
+        Sig obs = b.concat(slot.exception, slot.isLoad);
+        return b.concat(obs, masked(load_writes, slot.wdata));
+      }
+      case Contract::ConstantTime: {
+        // (exception, is-mem, address, is-branch, condition,
+        //  is-mul, opA, opB)
+        Sig is_mem = b.orOf(slot.isLoad, slot.isStore);
+        Sig obs = b.concat(slot.exception, is_mem);
+        obs = b.concat(obs, masked(is_mem, slot.addr));
+        obs = b.concat(obs, slot.isBranch);
+        obs = b.concat(obs, b.andOf(slot.isBranch, slot.taken));
+        obs = b.concat(obs, slot.isMul);
+        obs = b.concat(obs, masked(slot.isMul, slot.opA));
+        obs = b.concat(obs, masked(slot.isMul, slot.opB));
+        return obs;
+      }
+    }
+    csl_panic("unknown contract");
+}
+
+Sig
+uarchObservation(Builder &b, const proc::CoreIfc &core, Sig commit_enable)
+{
+    Sig bus_valid = b.andOf(core.memBusValid, commit_enable);
+    Sig obs = b.concat(bus_valid,
+                       b.mux(bus_valid, core.memBusAddr,
+                             b.lit(0, core.memBusAddr.width)));
+    for (const proc::CommitSlot &slot : core.commits)
+        obs = b.concat(obs, b.andOf(slot.valid, commit_enable));
+    return obs;
+}
+
+} // namespace csl::contract

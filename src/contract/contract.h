@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Software-hardware contract observation functions (paper Section 2.2).
+ *
+ * A contract is a pair of observation functions:
+ *  - O_ISA: what the software-level constraint compares, evaluated per
+ *    committed instruction (the contract constraint check);
+ *  - O_uArch: what the attacker sees, evaluated per cycle (the leakage
+ *    assertion check): the memory-bus address sequence and the commit
+ *    timing.
+ *
+ * Supported contracts:
+ *  - Sandboxing: O_ISA is the data written back by every committed load
+ *    (a program is valid iff sequential execution loads identical values
+ *    under both secrets);
+ *  - Constant-time: O_ISA is the branch condition of committed branches,
+ *    the address of committed memory operations, and the operands of
+ *    committed multiplies (the constant-time programming discipline).
+ *
+ * Both O_ISA variants also carry the architectural exception marker: a
+ * trap redirects control flow and is architecturally visible.
+ */
+
+#ifndef CSL_CONTRACT_CONTRACT_H_
+#define CSL_CONTRACT_CONTRACT_H_
+
+#include "isa/isa.h"
+#include "proc/core_ifc.h"
+#include "rtl/builder.h"
+
+namespace csl::contract {
+
+/** Which software-hardware contract is being verified. */
+enum class Contract {
+    Sandboxing,
+    ConstantTime,
+};
+
+const char *contractName(Contract contract);
+
+/**
+ * O_ISA of one commit slot, packed into a single comparable word.
+ * Fields irrelevant to the contract are masked to zero so don't-care
+ * hardware values cannot cause spurious trace differences.
+ */
+rtl::Sig isaObservation(rtl::Builder &b, const proc::CommitSlot &slot,
+                        Contract contract);
+
+/**
+ * O_uArch of a core for the current cycle: (bus valid, masked bus
+ * address, per-slot commit valids), packed into one word.
+ * @param commit_enable gates the commit-valid bits (the shadow scheme
+ * passes the clock-enable so a paused copy shows no activity).
+ */
+rtl::Sig uarchObservation(rtl::Builder &b, const proc::CoreIfc &core,
+                          rtl::Sig commit_enable);
+
+} // namespace csl::contract
+
+#endif // CSL_CONTRACT_CONTRACT_H_

@@ -1,0 +1,35 @@
+#include "defense/defense.h"
+
+namespace csl::defense {
+
+const char *
+defenseName(Defense defense)
+{
+    switch (defense) {
+      case Defense::None: return "None";
+      case Defense::NoFwdFuturistic: return "NoFwd_futuristic";
+      case Defense::NoFwdSpectre: return "NoFwd_spectre";
+      case Defense::DelayFuturistic: return "Delay_futuristic";
+      case Defense::DelaySpectre: return "Delay_spectre";
+      case Defense::DoMSpectre: return "DoM_spectre";
+    }
+    return "?";
+}
+
+bool
+isSpectreVariant(Defense defense)
+{
+    return defense == Defense::NoFwdSpectre ||
+           defense == Defense::DelaySpectre ||
+           defense == Defense::DoMSpectre;
+}
+
+bool
+isDelayStyle(Defense defense)
+{
+    return defense == Defense::DelayFuturistic ||
+           defense == Defense::DelaySpectre ||
+           defense == Defense::DoMSpectre;
+}
+
+} // namespace csl::defense

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The five microarchitectural defense mechanisms evaluated in the paper
+ * (Section 7.2), wired into OoOCore's issue/forwarding logic.
+ */
+
+#ifndef CSL_DEFENSE_DEFENSE_H_
+#define CSL_DEFENSE_DEFENSE_H_
+
+namespace csl::defense {
+
+/**
+ * Defense policy applied to load instructions.
+ *
+ * "futuristic" variants treat every instruction as potentially
+ * speculative (all speculation sources); "spectre" variants only protect
+ * loads that were dispatched while a branch was pending in the ROB
+ * (branch misprediction as the sole speculation source).
+ */
+enum class Defense {
+    /** No protection: loads issue and forward speculatively. */
+    None,
+    /** Load results are not forwarded to younger instructions until the
+     * load commits. */
+    NoFwdFuturistic,
+    /** NoFwd restricted to loads dispatched under a pending branch. */
+    NoFwdSpectre,
+    /** Loads do not issue until they reach the commit point. */
+    DelayFuturistic,
+    /** Delay restricted to loads dispatched under a pending branch
+     * (the paper's secure core "SimpleOoO-S"). */
+    DelaySpectre,
+    /** Delay-on-Miss: loads always probe the L1; on a miss under a
+     * pending branch, the refill is delayed until the commit point.
+     * Requires the core's cache to be enabled. Known insecure. */
+    DoMSpectre,
+};
+
+/** Short name for tables. */
+const char *defenseName(Defense defense);
+
+/** True for the *Spectre variants (protection conditioned on branches). */
+bool isSpectreVariant(Defense defense);
+
+/** True when the defense delays load issue (vs. blocking forwarding). */
+bool isDelayStyle(Defense defense);
+
+} // namespace csl::defense
+
+#endif // CSL_DEFENSE_DEFENSE_H_

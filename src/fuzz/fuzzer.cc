@@ -1,0 +1,173 @@
+#include "fuzz/fuzzer.h"
+
+#include <random>
+
+#include "base/stopwatch.h"
+#include "isa/golden.h"
+#include "rtl/builder.h"
+#include "sim/simulator.h"
+
+namespace csl::fuzz {
+
+using contract::Contract;
+using isa::CommitRecord;
+using isa::IsaConfig;
+
+namespace {
+
+/** The golden-model side of an ISA observation, as a comparable tuple. */
+struct GoldenObs
+{
+    uint64_t a = 0, b = 0, c = 0;
+    bool operator==(const GoldenObs &o) const = default;
+};
+
+GoldenObs
+obsOf(const CommitRecord &rec, Contract contract)
+{
+    GoldenObs obs;
+    if (contract == Contract::Sandboxing) {
+        obs.a = (rec.exception << 1) | rec.isLoad;
+        obs.b = (rec.isLoad && rec.writesReg) ? rec.wdata : 0;
+    } else {
+        bool is_mem = rec.isLoad || rec.isStore;
+        obs.a = (rec.exception << 3) | (is_mem << 2) |
+                (rec.isBranch << 1) | uint64_t(rec.isMul);
+        obs.b = is_mem ? rec.addr : (rec.isBranch ? rec.taken : 0);
+        obs.c = rec.isMul ? ((rec.opA << 16) | rec.opB) : 0;
+    }
+    return obs;
+}
+
+/** Per-cycle microarchitectural observation sampled from the simulator. */
+struct UarchObs
+{
+    bool busValid = false;
+    uint64_t busAddr = 0;
+    uint32_t commitMask = 0;
+    bool operator==(const UarchObs &o) const = default;
+};
+
+} // namespace
+
+FuzzResult
+runFuzzer(const proc::CoreSpec &spec, const FuzzOptions &options)
+{
+    Stopwatch watch;
+    FuzzResult result;
+    const IsaConfig &ic = spec.isaConfig();
+    std::mt19937_64 rng(options.seed);
+
+    // Build the core once; each trial re-initializes the simulator.
+    rtl::Circuit circuit;
+    rtl::Builder builder(circuit);
+    proc::CoreIfc ifc = proc::buildCore(builder, spec, "cpu");
+    builder.finish();
+    sim::Simulator simulator(circuit);
+
+    auto random_word = [&](int width) { return truncBits(rng(), width); };
+
+    auto random_instr = [&]() -> uint64_t {
+        // Bias toward supported opcodes; occasionally a fully random
+        // word (exercises NOP decoding of reserved encodings).
+        if (rng() % 8 == 0)
+            return random_word(ic.instrBits());
+        isa::Instr instr;
+        for (;;) {
+            auto op = static_cast<isa::Opcode>(rng() % 6);
+            if (ic.supports(op)) {
+                instr.op = op;
+                break;
+            }
+        }
+        instr.f1 = uint8_t(rng() % ic.regCount);
+        instr.f2 = uint8_t(rng() % ic.regCount);
+        instr.f3 = uint8_t(rng() & maskBits(ic.immLowBits()));
+        return isa::encode(instr, ic);
+    };
+
+    auto simulate = [&](const std::vector<uint64_t> &imem,
+                        const std::vector<uint64_t> &dmem,
+                        const std::vector<uint64_t> &regs) {
+        std::unordered_map<rtl::NetId, uint64_t> init;
+        for (size_t i = 0; i < imem.size(); ++i)
+            init[ifc.imem->word(i).id] = imem[i];
+        for (size_t i = 0; i < dmem.size(); ++i)
+            init[ifc.dmem->word(i).id] = dmem[i];
+        for (size_t i = 0; i < regs.size(); ++i)
+            init[ifc.archRegs[i].id] = regs[i];
+        simulator.reset(init);
+        std::vector<UarchObs> trace;
+        trace.reserve(options.horizonCycles);
+        for (int t = 0; t < options.horizonCycles; ++t) {
+            simulator.evaluate();
+            UarchObs obs;
+            obs.busValid = simulator.value(ifc.memBusValid.id);
+            obs.busAddr =
+                obs.busValid ? simulator.value(ifc.memBusAddr.id) : 0;
+            for (size_t k = 0; k < ifc.commits.size(); ++k)
+                obs.commitMask |=
+                    uint32_t(simulator.value(ifc.commits[k].valid.id))
+                    << k;
+            trace.push_back(obs);
+            simulator.tick();
+        }
+        return trace;
+    };
+
+    Budget budget(options.timeoutSeconds);
+    for (uint64_t trial = 0; trial < options.maxPrograms; ++trial) {
+        budget.charge();
+        if (budget.exhausted())
+            break;
+        ++result.programsTried;
+
+        std::vector<uint64_t> imem(ic.imemSize);
+        for (auto &w : imem)
+            w = random_instr();
+        std::vector<uint64_t> regs(ic.regCount);
+        for (auto &w : regs)
+            w = random_word(ic.dataWidth);
+        std::vector<uint64_t> dmem1(ic.dmemSize), dmem2(ic.dmemSize);
+        for (size_t i = 0; i < ic.dmemSize; ++i) {
+            dmem1[i] = random_word(ic.dataWidth);
+            dmem2[i] = i < ic.secretStart() ? dmem1[i]
+                                            : random_word(ic.dataWidth);
+        }
+        // Ensure the secrets actually differ.
+        if (dmem1 == dmem2)
+            dmem2[ic.dmemSize - 1] ^= 1;
+
+        // Contract constraint check on the golden model.
+        isa::GoldenModel g1(ic, imem, dmem1, regs);
+        isa::GoldenModel g2(ic, imem, dmem2, regs);
+        bool valid = true;
+        for (int step = 0; step < options.horizonCycles && valid; ++step)
+            valid = obsOf(g1.step(), options.contract) ==
+                    obsOf(g2.step(), options.contract);
+        if (!valid)
+            continue;
+        ++result.programsValid;
+
+        // Leakage assertion check by differential co-simulation.
+        auto t1 = simulate(imem, dmem1, regs);
+        auto t2 = simulate(imem, dmem2, regs);
+        for (int t = 0; t < options.horizonCycles; ++t) {
+            if (t1[t] == t2[t])
+                continue;
+            FuzzAttack attack;
+            attack.program = imem;
+            attack.dmem1 = dmem1;
+            attack.dmem2 = dmem2;
+            attack.regs = regs;
+            attack.divergenceCycle = size_t(t);
+            result.attack = attack;
+            result.seconds = watch.seconds();
+            return result;
+        }
+    }
+    result.seconds = watch.seconds();
+    return result;
+}
+
+} // namespace csl::fuzz

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A differential program fuzzer in the spirit of the fuzzing-based
+ * checkers the paper surveys (SpecDoctor et al., Section 9): generate
+ * random programs, keep those that satisfy the contract constraint on
+ * the golden model, then co-simulate two copies of the target processor
+ * with different secrets and flag microarchitectural trace divergence.
+ * Faster than model checking at finding shallow leaks, but offers no
+ * proofs - the contrast the paper draws with formal schemes.
+ */
+
+#ifndef CSL_FUZZ_FUZZER_H_
+#define CSL_FUZZ_FUZZER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/budget.h"
+#include "contract/contract.h"
+#include "proc/presets.h"
+
+namespace csl::fuzz {
+
+/** A found leak: the program and the two initial memories. */
+struct FuzzAttack
+{
+    std::vector<uint64_t> program;
+    std::vector<uint64_t> dmem1;
+    std::vector<uint64_t> dmem2;
+    std::vector<uint64_t> regs;
+    size_t divergenceCycle = 0;
+};
+
+/** Fuzzing campaign summary. */
+struct FuzzResult
+{
+    std::optional<FuzzAttack> attack;
+    uint64_t programsTried = 0;
+    uint64_t programsValid = 0; ///< passed the contract constraint
+    double seconds = 0;
+};
+
+/** Options for a fuzzing campaign. */
+struct FuzzOptions
+{
+    contract::Contract contract = contract::Contract::Sandboxing;
+    uint64_t seed = 1;
+    uint64_t maxPrograms = 20000;
+    int horizonCycles = 48; ///< co-simulation window per program
+    double timeoutSeconds = 60.0;
+};
+
+/** Run a campaign against @p spec. */
+FuzzResult runFuzzer(const proc::CoreSpec &spec, const FuzzOptions &options);
+
+} // namespace csl::fuzz
+
+#endif // CSL_FUZZ_FUZZER_H_

@@ -1,0 +1,176 @@
+#include "isa/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <unordered_map>
+
+#include "base/logging.h"
+
+namespace csl::isa {
+
+namespace {
+
+/** Split a line into lowercase tokens, treating ',', '[', ']' as spaces. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::string cleaned;
+    for (char ch : line) {
+        if (ch == ',' || ch == '[' || ch == ']' || ch == '+')
+            cleaned.push_back(' ');
+        else
+            cleaned.push_back(
+                static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+    }
+    std::istringstream iss(cleaned);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (iss >> token)
+        tokens.push_back(token);
+    return tokens;
+}
+
+int
+parseReg(const std::string &token, const IsaConfig &config)
+{
+    csl_assert(token.size() >= 2 && token[0] == 'r',
+               "expected register, got '", token, "'");
+    int r = std::stoi(token.substr(1));
+    csl_assert(r >= 0 && r < config.regCount, "register out of range: ",
+               token);
+    return r;
+}
+
+uint64_t
+parseImm(const std::string &token, uint64_t limit)
+{
+    uint64_t v = std::stoull(token, nullptr, 0);
+    csl_assert(v < limit, "immediate out of range: ", token);
+    return v;
+}
+
+} // namespace
+
+Instr
+parseInstr(const std::string &line, const IsaConfig &config)
+{
+    auto tokens = tokenize(line);
+    csl_assert(!tokens.empty(), "empty instruction");
+    const std::string &mnemonic = tokens[0];
+    const uint64_t imm_limit = 1ull << config.immBits();
+    Instr instr;
+
+    auto expect = [&](size_t n) {
+        csl_assert(tokens.size() == n, "bad operand count in '", line, "'");
+    };
+
+    if (mnemonic == "nop") {
+        expect(1);
+        instr.op = Opcode::Nop;
+    } else if (mnemonic == "li") {
+        expect(3);
+        instr.op = Opcode::Li;
+        instr.f1 = static_cast<uint8_t>(parseReg(tokens[1], config));
+        uint64_t imm = parseImm(tokens[2], imm_limit);
+        instr.f2 = static_cast<uint8_t>(imm >> config.immLowBits());
+        instr.f3 = static_cast<uint8_t>(imm & maskBits(config.immLowBits()));
+    } else if (mnemonic == "add" || mnemonic == "mul") {
+        expect(4);
+        instr.op = mnemonic == "add" ? Opcode::Add : Opcode::Mul;
+        instr.f1 = static_cast<uint8_t>(parseReg(tokens[1], config));
+        instr.f2 = static_cast<uint8_t>(parseReg(tokens[2], config));
+        instr.f3 = static_cast<uint8_t>(parseReg(tokens[3], config));
+    } else if (mnemonic == "ld") {
+        expect(3);
+        instr.op = Opcode::Ld;
+        instr.f1 = static_cast<uint8_t>(parseReg(tokens[1], config));
+        instr.f2 = static_cast<uint8_t>(parseReg(tokens[2], config));
+    } else if (mnemonic == "st") {
+        expect(3);
+        instr.op = Opcode::St;
+        instr.f1 = static_cast<uint8_t>(parseReg(tokens[1], config));
+        instr.f2 = static_cast<uint8_t>(parseReg(tokens[2], config));
+    } else if (mnemonic == "beqz") {
+        expect(3);
+        instr.op = Opcode::Beqz;
+        instr.f1 = static_cast<uint8_t>(parseReg(tokens[1], config));
+        uint64_t imm = parseImm(tokens[2], imm_limit);
+        instr.f2 = static_cast<uint8_t>(imm >> config.immLowBits());
+        instr.f3 = static_cast<uint8_t>(imm & maskBits(config.immLowBits()));
+    } else {
+        csl_fatal("unknown mnemonic '", mnemonic, "'");
+    }
+    csl_assert(config.supports(instr.op), "instruction not supported by "
+               "this core's feature set: ", mnemonic);
+    return instr;
+}
+
+std::vector<uint64_t>
+assemble(const std::string &source, const IsaConfig &config)
+{
+    // Pass 1: strip comments, collect labels and instruction lines.
+    std::vector<std::string> lines;
+    std::unordered_map<std::string, size_t> labels;
+    {
+        std::istringstream iss(source);
+        std::string line;
+        while (std::getline(iss, line)) {
+            size_t hash = line.find('#');
+            if (hash != std::string::npos)
+                line.resize(hash);
+            size_t slashes = line.find("//");
+            if (slashes != std::string::npos)
+                line.resize(slashes);
+            // Leading "name:" defines a label at the next instruction.
+            size_t colon = line.find(':');
+            if (colon != std::string::npos &&
+                line.find_first_of("[]") == std::string::npos) {
+                std::string label = line.substr(0, colon);
+                label.erase(std::remove_if(label.begin(), label.end(),
+                                           [](unsigned char c) {
+                                               return std::isspace(c);
+                                           }),
+                            label.end());
+                csl_assert(!label.empty(), "empty label");
+                csl_assert(!labels.count(label), "duplicate label '",
+                           label, "'");
+                labels[label] = lines.size();
+                line = line.substr(colon + 1);
+            }
+            if (std::all_of(line.begin(), line.end(), [](unsigned char c) {
+                    return std::isspace(c);
+                }))
+                continue;
+            lines.push_back(line);
+        }
+    }
+
+    // Pass 2: resolve labels in branch targets and encode.
+    std::vector<uint64_t> words;
+    for (size_t pc = 0; pc < lines.size(); ++pc) {
+        std::string line = lines[pc];
+        auto tokens = tokenize(line);
+        if (!tokens.empty() && tokens[0] == "beqz" && tokens.size() == 3 &&
+            labels.count(tokens[2])) {
+            size_t target = labels.at(tokens[2]);
+            uint64_t offset =
+                (target + config.imemSize - (pc + 1)) % config.imemSize;
+            std::ostringstream oss;
+            // Rebuild the line with a numeric offset (register token is
+            // already lowercase from tokenize).
+            oss << "beqz " << tokens[1] << ", +" << offset;
+            line = oss.str();
+        }
+        words.push_back(encode(parseInstr(line, config), config));
+    }
+    csl_assert(words.size() <= config.imemSize, "program too long: ",
+               words.size(), " > ", config.imemSize);
+    Instr nop;
+    nop.op = Opcode::Nop;
+    while (words.size() < config.imemSize)
+        words.push_back(encode(nop, config));
+    return words;
+}
+
+} // namespace csl::isa

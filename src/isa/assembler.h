@@ -1,0 +1,34 @@
+/**
+ * @file
+ * A tiny assembler/parser for the toy ISA, used by tests, examples and
+ * the attack-decoding pretty printer.
+ */
+
+#ifndef CSL_ISA_ASSEMBLER_H_
+#define CSL_ISA_ASSEMBLER_H_
+
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace csl::isa {
+
+/**
+ * Assemble a program. One instruction per line; `#` or `//` start
+ * comments; blank lines are skipped. Mnemonics as produced by
+ * disassemble(): li/add/mul/ld/st/beqz/nop. A line of the form
+ * `name:` defines a label; `beqz rN, name` branches to it (offsets wrap
+ * modulo the instruction memory, so backward branches work). The result
+ * is padded with NOPs to config.imemSize. Fatal error on malformed
+ * input or overflow.
+ */
+std::vector<uint64_t> assemble(const std::string &source,
+                               const IsaConfig &config);
+
+/** Parse a single instruction line (no comments, no label support). */
+Instr parseInstr(const std::string &line, const IsaConfig &config);
+
+} // namespace csl::isa
+
+#endif // CSL_ISA_ASSEMBLER_H_

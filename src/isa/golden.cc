@@ -1,0 +1,106 @@
+#include "isa/golden.h"
+
+#include "base/logging.h"
+
+namespace csl::isa {
+
+GoldenModel::GoldenModel(const IsaConfig &config, std::vector<uint64_t> imem,
+                         std::vector<uint64_t> dmem,
+                         std::vector<uint64_t> init_regs)
+    : config_(config), imem_(std::move(imem)), dmem_(std::move(dmem)),
+      regs_(config.regCount, 0)
+{
+    config_.check();
+    csl_assert(imem_.size() == config_.imemSize, "imem size mismatch");
+    csl_assert(dmem_.size() == config_.dmemSize, "dmem size mismatch");
+    if (!init_regs.empty()) {
+        csl_assert(init_regs.size() == regs_.size(), "reg count mismatch");
+        for (size_t i = 0; i < regs_.size(); ++i)
+            regs_[i] = truncBits(init_regs[i], config_.dataWidth);
+    }
+    for (uint64_t &w : imem_)
+        w = truncBits(w, config_.instrBits());
+    for (uint64_t &w : dmem_)
+        w = truncBits(w, config_.dataWidth);
+}
+
+CommitRecord
+GoldenModel::step()
+{
+    const Instr instr = decode(imem_[pc_], config_);
+    const int width = config_.dataWidth;
+    CommitRecord rec;
+    rec.op = instr.op;
+    rec.pc = pc_;
+
+    uint64_t next_pc = (pc_ + 1) % config_.imemSize;
+    auto mem_exception = [&](uint64_t addr) {
+        bool misaligned = config_.trapOnMisaligned && (addr & 1);
+        bool out_of_range =
+            config_.trapOnOutOfRange && addr >= config_.dmemSize;
+        return misaligned || out_of_range;
+    };
+
+    switch (instr.op) {
+      case Opcode::Li:
+        rec.writesReg = true;
+        rec.rd = instr.rd();
+        rec.wdata = truncBits(instr.imm(config_), width);
+        regs_[rec.rd] = rec.wdata;
+        break;
+      case Opcode::Add:
+      case Opcode::Mul: {
+        rec.opA = regs_[instr.srcA()];
+        rec.opB = regs_[instr.srcB(config_)];
+        rec.isMul = instr.op == Opcode::Mul;
+        rec.writesReg = true;
+        rec.rd = instr.rd();
+        rec.wdata = truncBits(rec.isMul ? rec.opA * rec.opB
+                                        : rec.opA + rec.opB,
+                              width);
+        regs_[rec.rd] = rec.wdata;
+        break;
+      }
+      case Opcode::Ld: {
+        rec.isLoad = true;
+        rec.addr = regs_[instr.addrReg()];
+        if (mem_exception(rec.addr)) {
+            rec.exception = true;
+            next_pc = 0; // trap vector
+        } else {
+            rec.writesReg = true;
+            rec.rd = instr.rd();
+            rec.wdata = dmem_[rec.addr % config_.dmemSize];
+            regs_[rec.rd] = rec.wdata;
+        }
+        break;
+      }
+      case Opcode::St: {
+        rec.isStore = true;
+        rec.addr = regs_[instr.addrReg()];
+        if (mem_exception(rec.addr)) {
+            rec.exception = true;
+            next_pc = 0;
+        } else {
+            dmem_[rec.addr % config_.dmemSize] =
+                regs_[instr.dataReg()];
+        }
+        break;
+      }
+      case Opcode::Beqz: {
+        rec.isBranch = true;
+        rec.opA = regs_[instr.condReg()];
+        rec.taken = rec.opA == 0;
+        if (rec.taken)
+            next_pc = (pc_ + 1 + instr.imm(config_)) % config_.imemSize;
+        break;
+      }
+      case Opcode::Nop:
+        break;
+    }
+
+    pc_ = next_pc;
+    return rec;
+}
+
+} // namespace csl::isa

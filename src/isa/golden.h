@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Golden architectural model: the executable ISA specification.
+ *
+ * Every processor's commit stream is tandem-tested against this model
+ * (the paper's decoupling of functional from security verification,
+ * Section 5.4), and the differential fuzzer uses it to evaluate contract
+ * constraints on candidate programs.
+ */
+
+#ifndef CSL_ISA_GOLDEN_H_
+#define CSL_ISA_GOLDEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace csl::isa {
+
+/** Everything architecturally observable about one executed instruction. */
+struct CommitRecord
+{
+    Opcode op = Opcode::Nop;
+    uint64_t pc = 0;
+    /** Instruction trapped: no writeback/store, pc redirected to 0. */
+    bool exception = false;
+
+    bool writesReg = false;
+    int rd = 0;
+    uint64_t wdata = 0;
+
+    bool isLoad = false;
+    bool isStore = false;
+    uint64_t addr = 0; ///< full architectural address (pre-wrap)
+
+    bool isBranch = false;
+    bool taken = false;
+
+    bool isMul = false;
+    uint64_t opA = 0;
+    uint64_t opB = 0;
+};
+
+/** Single-stepping architectural simulator. */
+class GoldenModel
+{
+  public:
+    /**
+     * @param config    ISA parameters (validated)
+     * @param imem      instruction words (size == config.imemSize)
+     * @param dmem      initial data memory (size == config.dmemSize)
+     * @param init_regs initial register values (empty = all zero)
+     */
+    GoldenModel(const IsaConfig &config, std::vector<uint64_t> imem,
+                std::vector<uint64_t> dmem,
+                std::vector<uint64_t> init_regs = {});
+
+    /** Execute exactly one instruction. */
+    CommitRecord step();
+
+    uint64_t pc() const { return pc_; }
+    const std::vector<uint64_t> &regs() const { return regs_; }
+    const std::vector<uint64_t> &dmem() const { return dmem_; }
+
+  private:
+    IsaConfig config_;
+    std::vector<uint64_t> imem_;
+    std::vector<uint64_t> dmem_;
+    std::vector<uint64_t> regs_;
+    uint64_t pc_ = 0;
+};
+
+} // namespace csl::isa
+
+#endif // CSL_ISA_GOLDEN_H_

@@ -1,0 +1,123 @@
+#include "isa/isa.h"
+
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace csl::isa {
+
+void
+IsaConfig::check() const
+{
+    csl_assert(dataWidth >= 2 && dataWidth <= 16,
+               "dataWidth out of range: ", dataWidth);
+    csl_assert(isPowerOfTwo(regCount) && regCount >= 2 && regCount <= 16,
+               "regCount must be a power of two in [2,16]");
+    csl_assert(isPowerOfTwo(imemSize) && imemSize >= 2,
+               "imemSize must be a power of two >= 2");
+    csl_assert(isPowerOfTwo(dmemSize) && dmemSize >= 2,
+               "dmemSize must be a power of two >= 2");
+    csl_assert(size_t(1) << dataWidth >= dmemSize,
+               "dataWidth too narrow to address dmem");
+    csl_assert(!trapOnOutOfRange || (size_t(1) << dataWidth) > dmemSize,
+               "out-of-range traps need addresses beyond dmemSize");
+}
+
+bool
+IsaConfig::supports(Opcode op) const
+{
+    switch (op) {
+      case Opcode::Li:
+      case Opcode::Add:
+      case Opcode::Ld:
+      case Opcode::Beqz:
+        return true;
+      case Opcode::Mul:
+        return hasMul;
+      case Opcode::St:
+        return hasStore;
+      case Opcode::Nop:
+        return true;
+    }
+    return false;
+}
+
+uint64_t
+encode(const Instr &instr, const IsaConfig &config)
+{
+    const int rb = config.regBits();
+    const int ib = config.immLowBits();
+    uint64_t bits = static_cast<uint64_t>(instr.op) & 0x7;
+    bits = (bits << rb) | (instr.f1 & maskBits(rb));
+    bits = (bits << rb) | (instr.f2 & maskBits(rb));
+    bits = (bits << ib) | (instr.f3 & maskBits(ib));
+    return bits;
+}
+
+Instr
+decode(uint64_t bits, const IsaConfig &config)
+{
+    const int rb = config.regBits();
+    const int ib = config.immLowBits();
+    Instr instr;
+    instr.f3 = static_cast<uint8_t>(bits & maskBits(ib));
+    bits >>= ib;
+    instr.f2 = static_cast<uint8_t>(bits & maskBits(rb));
+    bits >>= rb;
+    instr.f1 = static_cast<uint8_t>(bits & maskBits(rb));
+    bits >>= rb;
+    uint8_t op = static_cast<uint8_t>(bits & 0x7);
+    instr.op = op <= static_cast<uint8_t>(Opcode::Nop)
+                   ? static_cast<Opcode>(op)
+                   : Opcode::Nop;
+    if (!config.supports(instr.op))
+        instr.op = Opcode::Nop;
+    return instr;
+}
+
+std::string
+disassemble(const Instr &instr, const IsaConfig &config)
+{
+    std::ostringstream oss;
+    switch (instr.op) {
+      case Opcode::Li:
+        oss << "li   r" << instr.rd() << ", " << instr.imm(config);
+        break;
+      case Opcode::Add:
+        oss << "add  r" << instr.rd() << ", r" << instr.srcA() << ", r"
+            << instr.srcB(config);
+        break;
+      case Opcode::Mul:
+        oss << "mul  r" << instr.rd() << ", r" << instr.srcA() << ", r"
+            << instr.srcB(config);
+        break;
+      case Opcode::Ld:
+        oss << "ld   r" << instr.rd() << ", [r" << instr.addrReg() << "]";
+        break;
+      case Opcode::St:
+        oss << "st   r" << instr.dataReg() << ", [r" << instr.addrReg()
+            << "]";
+        break;
+      case Opcode::Beqz:
+        oss << "beqz r" << instr.condReg() << ", +" << instr.imm(config);
+        break;
+      case Opcode::Nop:
+        oss << "nop";
+        break;
+    }
+    return oss.str();
+}
+
+std::string
+disassembleProgram(const std::vector<uint64_t> &words,
+                   const IsaConfig &config)
+{
+    std::ostringstream oss;
+    for (size_t pc = 0; pc < words.size(); ++pc) {
+        oss << "  " << pc << ": "
+            << disassemble(decode(words[pc], config), config) << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace csl::isa

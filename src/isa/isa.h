@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The toy ISA shared by every processor in the repository.
+ *
+ * The paper's in-house SimpleOoO core runs "4 customized insts (loadimm,
+ * ALU, load, branch)"; we reproduce exactly that, plus optional MUL
+ * (standing in for Ridecore's RV32IM multiply) and STORE (for the
+ * BOOM-like core), gated by feature flags. Cores without a feature decode
+ * the corresponding opcodes as NOP, in the golden model and in RTL alike,
+ * so all machines agree on architectural semantics.
+ *
+ * Encoding (parametric in the register count):
+ *
+ *   | op (3) | f1 (regBits) | f2 (regBits) | f3 (immBits) |
+ *
+ *   op 0  LI   rd=f1,  imm   = {f2, f3}
+ *   op 1  ADD  rd=f1,  rs1=f2, rs2=f3[regBits-1:0]
+ *   op 2  MUL  rd=f1,  rs1=f2, rs2=f3[regBits-1:0]   (hasMul)
+ *   op 3  LD   rd=f1,  addr reg rs1=f2
+ *   op 4  ST   data reg rs1=f1, addr reg rs2=f2      (hasStore)
+ *   op 5  BEQZ rs1=f1, offset = {f2, f3}
+ *   op 6,7     NOP
+ *
+ * PC arithmetic wraps modulo the instruction-memory size, so every
+ * program is an infinite trace (matching the paper's symbolic-imem
+ * model-checking setup).
+ */
+
+#ifndef CSL_ISA_ISA_H_
+#define CSL_ISA_ISA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/bits.h"
+
+namespace csl::isa {
+
+/** Opcode values (3-bit field). */
+enum class Opcode : uint8_t {
+    Li = 0,
+    Add = 1,
+    Mul = 2,
+    Ld = 3,
+    St = 4,
+    Beqz = 5,
+    Nop = 6,
+};
+
+/** Architectural parameters; every structure size the paper sweeps. */
+struct IsaConfig
+{
+    int dataWidth = 4;   ///< register/memory word width in bits
+    int regCount = 4;    ///< architectural registers (power of two)
+    size_t imemSize = 8; ///< instruction memory entries (power of two)
+    size_t dmemSize = 4; ///< data memory words (power of two)
+
+    bool hasMul = false;
+    bool hasStore = false;
+    /** Trap on odd data addresses (BOOM-like misalignment source). */
+    bool trapOnMisaligned = false;
+    /** Trap on addresses >= dmemSize (BOOM-like illegal-access source). */
+    bool trapOnOutOfRange = false;
+
+    int regBits() const { return bitsFor(regCount); }
+    int pcBits() const { return bitsFor(imemSize); }
+    /** Width of the f3 field. */
+    int immLowBits() const { return regBits() > 3 ? regBits() : 3; }
+    /** Total immediate width ({f2, f3}). */
+    int immBits() const { return regBits() + immLowBits(); }
+    int instrBits() const { return 3 + 2 * regBits() + immLowBits(); }
+    /** First secret word: the upper half of data memory is secret. */
+    size_t secretStart() const { return dmemSize / 2; }
+
+    /** Validate invariants (power-of-two sizes, width limits). */
+    void check() const;
+
+    /** True when @p op is executable under these features. */
+    bool supports(Opcode op) const;
+};
+
+/** A decoded instruction. */
+struct Instr
+{
+    Opcode op = Opcode::Nop;
+    uint8_t f1 = 0;
+    uint8_t f2 = 0;
+    uint8_t f3 = 0;
+
+    /** Destination register (LI/ADD/MUL/LD). */
+    int rd() const { return f1; }
+    /** ALU source registers (ADD/MUL). */
+    int srcA() const { return f2; }
+    int srcB(const IsaConfig &config) const
+    {
+        return f3 & (config.regCount - 1);
+    }
+    /** Address register (LD/ST). */
+    int addrReg() const { return f2; }
+    /** Store-data register (ST). */
+    int dataReg() const { return f1; }
+    /** Branch condition register (BEQZ). */
+    int condReg() const { return f1; }
+    /** Immediate value {f2, f3} (LI/BEQZ). */
+    uint64_t
+    imm(const IsaConfig &config) const
+    {
+        return (uint64_t(f2) << config.immLowBits()) | f3;
+    }
+};
+
+/** Encode @p instr under @p config. */
+uint64_t encode(const Instr &instr, const IsaConfig &config);
+
+/** Decode raw bits; unknown/unsupported opcodes become NOP. */
+Instr decode(uint64_t bits, const IsaConfig &config);
+
+/** Render one instruction as assembly text. */
+std::string disassemble(const Instr &instr, const IsaConfig &config);
+
+/** Render a whole program. */
+std::string disassembleProgram(const std::vector<uint64_t> &words,
+                               const IsaConfig &config);
+
+} // namespace csl::isa
+
+#endif // CSL_ISA_ISA_H_

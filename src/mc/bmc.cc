@@ -1,0 +1,51 @@
+#include "mc/bmc.h"
+
+#include "base/logging.h"
+
+namespace csl::mc {
+
+Bmc::Bmc(const rtl::Circuit &circuit) : circuit_(circuit)
+{
+    cnf_ = std::make_unique<bitblast::CnfBuilder>(solver_);
+    unroller_ = std::make_unique<bitblast::Unroller>(
+        circuit, *cnf_, /*free_initial_state=*/false);
+}
+
+Bmc::~Bmc() = default;
+
+BmcResult
+Bmc::run(size_t max_depth, Budget *budget)
+{
+    BmcResult result;
+    for (size_t k = checked_; k < max_depth; ++k) {
+        unroller_->ensureFrames(k + 1);
+        sat::Status status =
+            solver_.solve({unroller_->badLit(k)}, budget);
+        result.conflicts = solver_.stats().conflicts;
+        if (status == sat::Status::Sat) {
+            result.kind = BmcResult::Kind::Cex;
+            result.depth = k;
+            result.trace = extractTrace(circuit_, *unroller_, k + 1);
+            return result;
+        }
+        if (status == sat::Status::Unknown) {
+            result.kind = BmcResult::Kind::Timeout;
+            result.depth = checked_;
+            return result;
+        }
+        // Unsat: depth k is safe; record it so the fact is reused both by
+        // later queries here and by callers interleaving with induction.
+        solver_.addClause(~unroller_->badLit(k));
+        checked_ = k + 1;
+        if (budget && budget->exhausted()) {
+            result.kind = BmcResult::Kind::Timeout;
+            result.depth = checked_;
+            return result;
+        }
+    }
+    result.kind = BmcResult::Kind::BoundedSafe;
+    result.depth = checked_;
+    return result;
+}
+
+} // namespace csl::mc

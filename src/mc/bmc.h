@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Incremental bounded model checking - the attack-finding engine
+ * (JasperGold's "Ht" hunting engine in the paper's setup).
+ */
+
+#ifndef CSL_MC_BMC_H_
+#define CSL_MC_BMC_H_
+
+#include <memory>
+#include <optional>
+
+#include "base/budget.h"
+#include "bitblast/cnf_builder.h"
+#include "bitblast/unroller.h"
+#include "mc/trace.h"
+#include "rtl/circuit.h"
+#include "sat/solver.h"
+
+namespace csl::mc {
+
+/** Outcome of a (resumable) BMC run. */
+struct BmcResult
+{
+    enum class Kind {
+        Cex,       ///< counterexample found (trace is set)
+        BoundedSafe, ///< no counterexample up to the requested depth
+        Timeout,   ///< budget exhausted
+    };
+    Kind kind = Kind::BoundedSafe;
+    /** Cex: failing frame. BoundedSafe: deepest frame proven safe. */
+    size_t depth = 0;
+    std::optional<Trace> trace;
+    uint64_t conflicts = 0;
+};
+
+/**
+ * Resumable incremental BMC: one solver instance accumulates all frames;
+ * each depth k is queried via the assumption literal bad(k).
+ */
+class Bmc
+{
+  public:
+    explicit Bmc(const rtl::Circuit &circuit);
+    ~Bmc();
+
+    /**
+     * Search for a counterexample at depths (checkedUpTo, max_depth].
+     * Can be called repeatedly with growing bounds.
+     */
+    BmcResult run(size_t max_depth, Budget *budget = nullptr);
+
+    /** Deepest depth k such that all frames 0..k are known safe. */
+    size_t checkedUpTo() const { return checked_; }
+
+  private:
+    const rtl::Circuit &circuit_;
+    sat::Solver solver_;
+    std::unique_ptr<bitblast::CnfBuilder> cnf_;
+    std::unique_ptr<bitblast::Unroller> unroller_;
+    size_t checked_ = 0; ///< number of frames proven bad-free
+};
+
+} // namespace csl::mc
+
+#endif // CSL_MC_BMC_H_

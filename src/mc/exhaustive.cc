@@ -1,0 +1,155 @@
+#include "mc/exhaustive.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/bits.h"
+#include "base/logging.h"
+#include "sim/simulator.h"
+
+namespace csl::mc {
+
+using rtl::Net;
+using rtl::NetId;
+
+namespace {
+
+/** Pack register values into one key (total state width must be <= 64). */
+struct StatePacker
+{
+    std::vector<NetId> regs;
+    std::vector<int> widths;
+    int totalBits = 0;
+
+    explicit StatePacker(const rtl::Circuit &circuit)
+    {
+        for (NetId reg : circuit.registers()) {
+            regs.push_back(reg);
+            int width = circuit.net(reg).width;
+            widths.push_back(width);
+            totalBits += width;
+        }
+    }
+
+    uint64_t
+    pack(const std::unordered_map<NetId, uint64_t> &values) const
+    {
+        uint64_t key = 0;
+        for (size_t i = 0; i < regs.size(); ++i) {
+            auto it = values.find(regs[i]);
+            uint64_t v = it == values.end() ? 0 : it->second;
+            key = (key << widths[i]) | truncBits(v, widths[i]);
+        }
+        return key;
+    }
+
+    std::unordered_map<NetId, uint64_t>
+    unpack(uint64_t key) const
+    {
+        std::unordered_map<NetId, uint64_t> values;
+        for (size_t i = regs.size(); i-- > 0;) {
+            values[regs[i]] = key & maskBits(widths[i]);
+            key >>= widths[i];
+        }
+        return values;
+    }
+};
+
+} // namespace
+
+ExhaustiveResult
+exhaustiveCheck(const rtl::Circuit &circuit, size_t max_states)
+{
+    ExhaustiveResult result;
+    StatePacker packer(circuit);
+
+    int symbolic_bits = 0;
+    std::vector<NetId> symbolic;
+    for (NetId reg : circuit.registers()) {
+        if (circuit.net(reg).symbolicInit) {
+            symbolic.push_back(reg);
+            symbolic_bits += circuit.net(reg).width;
+        }
+    }
+    int input_bits = 0;
+    for (NetId in : circuit.inputs())
+        input_bits += circuit.net(in).width;
+
+    if (packer.totalBits > 40 || symbolic_bits > 20 || input_bits > 16) {
+        result.completed = false;
+        return result; // too large for explicit enumeration
+    }
+
+    sim::Simulator simulator(circuit);
+
+    // Enumerate initial states.
+    std::unordered_map<uint64_t, size_t> depth_of; // state -> min depth
+    std::deque<uint64_t> queue;
+    for (uint64_t assign = 0; assign < (1ull << symbolic_bits); ++assign) {
+        std::unordered_map<NetId, uint64_t> init;
+        uint64_t rest = assign;
+        for (NetId reg : symbolic) {
+            int width = circuit.net(reg).width;
+            init[reg] = rest & maskBits(width);
+            rest >>= width;
+        }
+        simulator.reset(init);
+        // Check init constraints under some input (init constraints must
+        // not depend on inputs for this oracle; evaluate with zeros).
+        simulator.evaluate();
+        if (!simulator.initConstraintsHold())
+            continue;
+        std::unordered_map<NetId, uint64_t> full;
+        for (NetId reg : circuit.registers())
+            full[reg] = simulator.value(reg);
+        uint64_t key = packer.pack(full);
+        if (depth_of.emplace(key, 0).second)
+            queue.push_back(key);
+    }
+
+    // BFS over (state, input) successors.
+    while (!queue.empty()) {
+        uint64_t key = queue.front();
+        queue.pop_front();
+        size_t depth = depth_of[key];
+        ++result.statesVisited;
+        if (result.statesVisited > max_states)
+            return result; // completed stays false
+
+        for (uint64_t in_assign = 0; in_assign < (1ull << input_bits);
+             ++in_assign) {
+            simulator.reset(packer.unpack(key));
+            std::unordered_map<NetId, uint64_t> inputs;
+            uint64_t rest = in_assign;
+            for (NetId in : circuit.inputs()) {
+                int width = circuit.net(in).width;
+                inputs[in] = rest & maskBits(width);
+                rest >>= width;
+            }
+            simulator.evaluate(inputs);
+            if (!simulator.constraintsHold())
+                continue; // assumption prunes this edge
+            if (simulator.anyBad()) {
+                if (!result.badReachable || depth < result.badDepth) {
+                    result.badReachable = true;
+                    result.badDepth = depth;
+                }
+                continue; // count the failure; path ends at the bad
+            }
+            simulator.tick();
+            simulator.evaluate(inputs); // settle register outputs
+            std::unordered_map<NetId, uint64_t> full;
+            for (NetId reg : circuit.registers())
+                full[reg] = simulator.value(reg);
+            uint64_t next_key = packer.pack(full);
+            if (depth_of.emplace(next_key, depth + 1).second)
+                queue.push_back(next_key);
+        }
+    }
+    result.completed = true;
+    return result;
+}
+
+} // namespace csl::mc

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Explicit-state exhaustive reachability for tiny circuits.
+ *
+ * Enumerates every initial state (symbolic-init register assignment
+ * satisfying the init constraints) and every input assignment at every
+ * step, pruning paths whose per-cycle constraints fail - the exact
+ * semantics the SAT-based engines implement symbolically. Exponential,
+ * so only usable for circuits with a handful of state/input bits, where
+ * it serves as an independent oracle for cross-validating BMC and
+ * k-induction in the property-test suites.
+ */
+
+#ifndef CSL_MC_EXHAUSTIVE_H_
+#define CSL_MC_EXHAUSTIVE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "rtl/circuit.h"
+
+namespace csl::mc {
+
+/** Result of an exhaustive exploration. */
+struct ExhaustiveResult
+{
+    bool completed = false;    ///< state budget sufficed
+    bool badReachable = false; ///< some bad net fires on a legal path
+    /** Earliest cycle at which a bad fires (when badReachable). */
+    size_t badDepth = 0;
+    size_t statesVisited = 0;
+};
+
+/**
+ * Explore @p circuit exhaustively. Gives up (completed=false) once more
+ * than @p max_states distinct states have been expanded or the total
+ * symbolic bit-width exceeds practical limits (~20 bits).
+ */
+ExhaustiveResult exhaustiveCheck(const rtl::Circuit &circuit,
+                                 size_t max_states = 1 << 20);
+
+} // namespace csl::mc
+
+#endif // CSL_MC_EXHAUSTIVE_H_

@@ -1,0 +1,168 @@
+#include "mc/kinduction.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/logging.h"
+
+namespace csl::mc {
+
+using rtl::NetId;
+
+KInduction::KInduction(const rtl::Circuit &circuit, KInductionOptions options)
+    : circuit_(circuit), options_(std::move(options)), base_(circuit)
+{
+    stepCnf_ = std::make_unique<bitblast::CnfBuilder>(stepSolver_);
+    stepUnroller_ = std::make_unique<bitblast::Unroller>(
+        circuit, *stepCnf_, /*free_initial_state=*/true,
+        options_.assumedInvariants);
+}
+
+KInduction::~KInduction() = default;
+
+KInductionResult
+KInduction::run(Budget *budget)
+{
+    KInductionResult result;
+    for (size_t k = 1; k <= options_.maxK; ++k) {
+        // Base case: frames 0..k-1 must be bad-free from the real initial
+        // state.
+        BmcResult base = base_.run(k, budget);
+        result.conflicts = base.conflicts + stepSolver_.stats().conflicts;
+        if (base.kind == BmcResult::Kind::Cex) {
+            result.kind = KInductionResult::Kind::Cex;
+            result.k = base.depth;
+            result.trace = std::move(base.trace);
+            return result;
+        }
+        if (base.kind == BmcResult::Kind::Timeout) {
+            result.kind = KInductionResult::Kind::Timeout;
+            result.k = k;
+            return result;
+        }
+
+        // Step case: a constraint-satisfying path with k bad-free frames
+        // followed by a bad frame, from an arbitrary (not necessarily
+        // reachable) starting state.
+        const size_t had_frames = stepUnroller_->numFrames();
+        stepUnroller_->ensureFrames(k + 1);
+        for (size_t f = had_frames; f < k + 1; ++f) {
+            for (NetId inv : options_.assumedInvariants)
+                stepCnf_->assertLit(stepUnroller_->wordOf(inv, f)[0]);
+        }
+        // Frames 0..k-1 are bad-free in the step case. Units for frames
+        // 0..k-2 were already added by earlier iterations.
+        stepCnf_->assertLit(~stepUnroller_->badLit(k - 1));
+
+        sat::Status status =
+            stepSolver_.solve({stepUnroller_->badLit(k)}, budget);
+        result.conflicts = base.conflicts + stepSolver_.stats().conflicts;
+        if (status == sat::Status::Unsat) {
+            result.kind = KInductionResult::Kind::Proof;
+            result.k = k;
+            return result;
+        }
+        if (status == sat::Status::Unknown) {
+            result.kind = KInductionResult::Kind::Timeout;
+            result.k = k;
+            return result;
+        }
+        // Sat: the property is not k-inductive; deepen.
+    }
+    result.kind = KInductionResult::Kind::Unknown;
+    result.k = options_.maxK;
+    return result;
+}
+
+std::optional<std::vector<NetId>>
+proveInductiveInvariants(const rtl::Circuit &circuit,
+                         std::vector<NetId> candidates, Budget *budget,
+                         size_t window)
+{
+    if (candidates.empty())
+        return candidates;
+    csl_assert(window >= 1, "window must be at least 1");
+
+    // Phase 1: drop candidates violated in the first `window` frames from
+    // a legal initial state (the base case of the invariants' own
+    // k-induction). Batched: one "is any candidate false at frame f?"
+    // query per frame; on SAT, drop the violated candidates and retry.
+    {
+        sat::Solver solver;
+        bitblast::CnfBuilder cnf(solver);
+        bitblast::Unroller unroller(circuit, cnf,
+                                    /*free_initial_state=*/false,
+                                    candidates);
+        for (size_t f = 0; f < window; ++f) {
+            unroller.ensureFrames(f + 1);
+            for (;;) {
+                std::vector<sat::Lit> holds;
+                holds.reserve(candidates.size());
+                for (NetId c : candidates)
+                    holds.push_back(unroller.wordOf(c, f)[0]);
+                sat::Status status =
+                    solver.solve({~cnf.andAll(holds)}, budget);
+                if (status == sat::Status::Unknown)
+                    return std::nullopt;
+                if (status == sat::Status::Unsat)
+                    break; // all remaining candidates hold at frame f
+                std::vector<NetId> kept;
+                for (NetId c : candidates)
+                    if (solver.modelValue(unroller.wordOf(c, f)[0]))
+                        kept.push_back(c);
+                csl_assert(kept.size() < candidates.size(),
+                           "init pruning made no progress");
+                candidates = std::move(kept);
+                if (candidates.empty())
+                    return candidates;
+            }
+        }
+    }
+
+    // Phase 2: Houdini fixpoint on joint window-inductiveness: assume
+    // every candidate in frames 0..window-1, require them at `window`.
+    // Each candidate gets one activation literal implying it in every
+    // assumed frame, so the solver sees real clauses (strong propagation)
+    // and the assumption count stays at |candidates|.
+    sat::Solver solver;
+    bitblast::CnfBuilder cnf(solver);
+    bitblast::Unroller unroller(circuit, cnf, /*free_initial_state=*/true,
+                                candidates);
+    unroller.ensureFrames(window + 1);
+    std::unordered_map<NetId, sat::Lit> activation;
+    for (NetId c : candidates) {
+        sat::Lit act = cnf.fresh();
+        for (size_t f = 0; f < window; ++f)
+            solver.addClause(~act, unroller.wordOf(c, f)[0]);
+        activation.emplace(c, act);
+    }
+    while (!candidates.empty()) {
+        std::vector<sat::Lit> assumptions;
+        assumptions.reserve(candidates.size() + 1);
+        for (NetId c : candidates)
+            assumptions.push_back(activation.at(c));
+        std::vector<sat::Lit> final_holds;
+        final_holds.reserve(candidates.size());
+        for (NetId c : candidates)
+            final_holds.push_back(unroller.wordOf(c, window)[0]);
+        assumptions.push_back(~cnf.andAll(final_holds));
+
+        sat::Status status = solver.solve(assumptions, budget);
+        if (status == sat::Status::Unknown)
+            return std::nullopt;
+        if (status == sat::Status::Unsat)
+            break; // fixpoint: all remaining candidates are inductive
+        // Drop every candidate the counterexample-to-induction violates.
+        std::vector<NetId> kept;
+        for (NetId c : candidates) {
+            if (solver.modelValue(unroller.wordOf(c, window)[0]))
+                kept.push_back(c);
+        }
+        csl_assert(kept.size() < candidates.size(),
+                   "Houdini made no progress");
+        candidates = std::move(kept);
+    }
+    return candidates;
+}
+
+} // namespace csl::mc

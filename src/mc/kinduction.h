@@ -1,0 +1,102 @@
+/**
+ * @file
+ * k-induction - the unbounded-proof engine (the role of JasperGold's
+ * Mp/AM proof engines in the paper's setup).
+ *
+ * The step case runs on a free initial state: any k+1-cycle path that
+ * satisfies the environment constraints, is bad-free for k cycles and
+ * ends in a bad state. If no such path exists (Unsat) and BMC has shown
+ * the first k frames reachable from the real initial state are bad-free,
+ * the property holds for unbounded time.
+ *
+ * Optional strengthening invariants (1-bit nets known to hold in all
+ * reachable states, e.g. the survivors of the LEAVE-style Houdini search)
+ * are asserted in every step-case frame; callers are responsible for
+ * their validity - proveInductiveInvariants() provides a sound way to
+ * establish it.
+ */
+
+#ifndef CSL_MC_KINDUCTION_H_
+#define CSL_MC_KINDUCTION_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "base/budget.h"
+#include "bitblast/cnf_builder.h"
+#include "bitblast/unroller.h"
+#include "mc/bmc.h"
+#include "mc/trace.h"
+#include "rtl/circuit.h"
+#include "sat/solver.h"
+
+namespace csl::mc {
+
+/** Outcome of a k-induction run. */
+struct KInductionResult
+{
+    enum class Kind {
+        Cex,     ///< base case found a real counterexample
+        Proof,   ///< property proven for unbounded time
+        Unknown, ///< max k reached without convergence
+        Timeout, ///< budget exhausted
+    };
+    Kind kind = Kind::Unknown;
+    size_t k = 0; ///< Proof: inductive depth; Cex: failing frame
+    std::optional<Trace> trace;
+    uint64_t conflicts = 0;
+};
+
+/** Configuration for KInduction. */
+struct KInductionOptions
+{
+    size_t maxK = 64;
+    /** Trusted invariants asserted per step frame (see file comment). */
+    std::vector<rtl::NetId> assumedInvariants;
+};
+
+/** Interleaved base-case BMC + inductive step engine. */
+class KInduction
+{
+  public:
+    KInduction(const rtl::Circuit &circuit, KInductionOptions options = {});
+    ~KInduction();
+
+    /** Run until proof, counterexample, maxK, or budget exhaustion. */
+    KInductionResult run(Budget *budget = nullptr);
+
+  private:
+    const rtl::Circuit &circuit_;
+    KInductionOptions options_;
+    Bmc base_;
+
+    sat::Solver stepSolver_;
+    std::unique_ptr<bitblast::CnfBuilder> stepCnf_;
+    std::unique_ptr<bitblast::Unroller> stepUnroller_;
+};
+
+/**
+ * Houdini-style validity check for candidate invariants: returns the
+ * maximal subset of @p candidates that is (a) implied by the first
+ * @p window frames from the initial state and (b) jointly
+ * @p window-inductive under the circuit's constraints (assumed in frames
+ * 0..window-1, checked at frame `window`). Nets in the returned set may
+ * safely be used as assumedInvariants: by k-induction they hold in every
+ * reachable state.
+ *
+ * A window > 1 lets candidates survive whose one-step counterexamples
+ * are excused by environment constraints a few cycles later - e.g. a
+ * bound-to-commit load's transiently differing result is vindicated by
+ * the contract assumption at its commit, which lies within the window
+ * but not within one step.
+ *
+ * Returns std::nullopt on budget exhaustion.
+ */
+std::optional<std::vector<rtl::NetId>> proveInductiveInvariants(
+    const rtl::Circuit &circuit, std::vector<rtl::NetId> candidates,
+    Budget *budget = nullptr, size_t window = 1);
+
+} // namespace csl::mc
+
+#endif // CSL_MC_KINDUCTION_H_

@@ -1,0 +1,383 @@
+#include "mc/pdr.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/bits.h"
+#include "base/logging.h"
+
+namespace csl::mc {
+
+using rtl::NetId;
+using sat::Lit;
+using sat::Status;
+
+namespace {
+
+/** A (partial) assignment to the frame-0 state bits. */
+struct Cube
+{
+    /** (state-bit index, value) pairs, sorted by index. */
+    std::vector<std::pair<int, bool>> bits;
+
+    bool operator==(const Cube &o) const = default;
+};
+
+/** The PDR engine state. */
+class Pdr
+{
+  public:
+    Pdr(const rtl::Circuit &circuit, const PdrOptions &options,
+        Budget *budget)
+        : circuit_(circuit), options_(options), budget_(budget),
+          transCnf_(transSolver_),
+          trans_(circuit, transCnf_, /*free_initial_state=*/true,
+                 options.assumedInvariants),
+          initCnf_(initSolver_),
+          init_(circuit, initCnf_, /*free_initial_state=*/false,
+                options.assumedInvariants)
+    {
+        trans_.ensureFrames(2);
+        init_.ensureFrames(1);
+        for (NetId inv : options_.assumedInvariants) {
+            transCnf_.assertLit(trans_.wordOf(inv, 0)[0]);
+            transCnf_.assertLit(trans_.wordOf(inv, 1)[0]);
+            initCnf_.assertLit(init_.wordOf(inv, 0)[0]);
+        }
+
+        // Flatten the cone registers into indexed state bits.
+        for (NetId reg : circuit.registers()) {
+            if (!trans_.cone()[reg])
+                continue;
+            const auto &w0 = trans_.wordOf(reg, 0);
+            const auto &w1 = trans_.wordOf(reg, 1);
+            const auto &wi = init_.cone()[reg] ? init_.wordOf(reg, 0)
+                                               : bitblast::Word{};
+            for (size_t b = 0; b < w0.size(); ++b) {
+                state0_.push_back(w0[b]);
+                state1_.push_back(w1[b]);
+                stateInit_.push_back(b < wi.size() ? wi[b]
+                                                   : initCnf_.trueLit());
+                initKnown_.push_back(b < wi.size());
+            }
+        }
+
+        // Frame 0 is the initial-state predicate, encoded in the
+        // transition solver under its activation literal: concrete
+        // register bits plus the init-constraint nets at frame 0.
+        Lit act0 = transCnf_.fresh();
+        acts_.push_back(act0);
+        ownedCubes_.emplace_back(); // frame 0 owns no blocked cubes
+        size_t bit = 0;
+        for (NetId reg : circuit.registers()) {
+            if (!trans_.cone()[reg])
+                continue;
+            const rtl::Net &n = circuit.net(reg);
+            for (int b = 0; b < n.width; ++b, ++bit) {
+                if (!n.symbolicInit) {
+                    Lit l = state0_[bit];
+                    transSolver_.addClause(
+                        ~act0, bitAt(n.imm, b) ? l : ~l);
+                }
+            }
+        }
+        for (NetId c : circuit.initConstraints())
+            transSolver_.addClause(~act0, trans_.wordOf(c, 0)[0]);
+    }
+
+    PdrResult
+    run()
+    {
+        PdrResult result;
+        // Depth-0: a bad initial state.
+        if (solveTrans({acts_[0], trans_.badLit(0)}) == Status::Sat) {
+            result.kind = PdrResult::Kind::Cex;
+            result.depth = 0;
+            return result;
+        }
+        if (exhausted())
+            return result;
+
+        size_t k = 1;
+        newFrame(); // acts_[1]
+        while (k < options_.maxFrames) {
+            // Block all bad states reachable within F_k.
+            for (;;) {
+                std::vector<Lit> assumptions = frameAssumptions(k);
+                assumptions.push_back(trans_.badLit(0));
+                Status status = solveTrans(assumptions);
+                if (status == Status::Unknown)
+                    return result;
+                if (status == Status::Unsat)
+                    break;
+                Cube bad_state = extractState();
+                if (!blockObligation(bad_state, k, result))
+                    return result; // cex or timeout (result filled)
+            }
+
+            // Propagation: push blocked cubes forward; a fully pushed
+            // frame is an inductive invariant.
+            newFrame(); // acts_[k+1]
+            for (size_t i = 1; i <= k; ++i) {
+                auto cubes = ownedCubes_[i]; // copy: we mutate below
+                for (const Cube &c : cubes) {
+                    std::vector<Lit> assumptions = frameAssumptions(i);
+                    for (auto [bit, value] : c.bits)
+                        assumptions.push_back(value ? state1_[bit]
+                                                    : ~state1_[bit]);
+                    Status status = solveTrans(assumptions);
+                    if (status == Status::Unknown)
+                        return result;
+                    if (status == Status::Unsat)
+                        moveCube(c, i, i + 1);
+                }
+                if (ownedCubes_[i].empty()) {
+                    result.kind = PdrResult::Kind::Proof;
+                    result.depth = i;
+                    result.frames = k;
+                    result.blockedCubes = blocked_;
+                    return result;
+                }
+            }
+            ++k;
+        }
+        return result; // frame budget exhausted: Timeout
+    }
+
+  private:
+    // --- Queries ---------------------------------------------------------
+
+    Status
+    solveTrans(const std::vector<Lit> &assumptions)
+    {
+        return transSolver_.solve(assumptions, budget_);
+    }
+
+    bool
+    exhausted() const
+    {
+        return budget_ && budget_->exhausted();
+    }
+
+    /** Assumptions activating F_j in the transition solver. */
+    std::vector<Lit>
+    frameAssumptions(size_t j) const
+    {
+        std::vector<Lit> assumptions;
+        for (size_t i = std::max<size_t>(j, 1); i < acts_.size(); ++i)
+            assumptions.push_back(acts_[i]);
+        if (j == 0)
+            assumptions.push_back(acts_[0]);
+        return assumptions;
+    }
+
+    /** Read the frame-0 state bits of the last Sat model. */
+    Cube
+    extractState()
+    {
+        Cube cube;
+        cube.bits.reserve(state0_.size());
+        for (size_t j = 0; j < state0_.size(); ++j)
+            cube.bits.emplace_back(int(j),
+                                   transSolver_.modelValue(state0_[j]));
+        return cube;
+    }
+
+    /** Does the cube intersect the initial states? */
+    bool
+    intersectsInit(const Cube &cube)
+    {
+        std::vector<Lit> assumptions;
+        for (auto [bit, value] : cube.bits) {
+            if (!initKnown_[bit])
+                continue; // outside the init cone: unconstrained
+            assumptions.push_back(value ? stateInit_[bit]
+                                        : ~stateInit_[bit]);
+        }
+        return initSolver_.solve(assumptions, budget_) != Status::Unsat;
+    }
+
+    /**
+     * Is `cube` unreachable from F_{i-1} \ cube in one step?
+     * On UNSAT, *core receives the subset of cube literals (as state-bit
+     * indices into cube.bits) present in the final conflict.
+     */
+    Status
+    relativeInduction(const Cube &cube, size_t i,
+                      std::vector<std::pair<int, bool>> *core)
+    {
+        // not-cube clause, activated just for the queries on this cube.
+        Lit tmp = transCnf_.fresh();
+        std::vector<Lit> clause{~tmp};
+        for (auto [bit, value] : cube.bits)
+            clause.push_back(value ? ~state0_[bit] : state0_[bit]);
+        transSolver_.addClause(clause);
+
+        std::vector<Lit> assumptions = frameAssumptions(i - 1);
+        assumptions.push_back(tmp);
+        std::vector<Lit> primed;
+        for (auto [bit, value] : cube.bits) {
+            Lit l = value ? state1_[bit] : ~state1_[bit];
+            assumptions.push_back(l);
+            primed.push_back(l);
+        }
+        Status status = solveTrans(assumptions);
+        // Permanently deactivate the temporary clause.
+        transSolver_.addClause(~tmp);
+        if (status == Status::Unsat && core) {
+            core->clear();
+            const auto &failed = transSolver_.failedAssumptions();
+            for (size_t idx = 0; idx < cube.bits.size(); ++idx) {
+                if (std::find(failed.begin(), failed.end(),
+                              primed[idx]) != failed.end())
+                    core->push_back(cube.bits[idx]);
+            }
+        }
+        return status;
+    }
+
+    /** Shrink a blocked cube while keeping it blocked and init-disjoint. */
+    Cube
+    generalize(Cube cube, size_t i)
+    {
+        // 1. Unsat-core shrink.
+        std::vector<std::pair<int, bool>> core;
+        if (relativeInduction(cube, i, &core) == Status::Unsat &&
+            !core.empty()) {
+            Cube shrunk;
+            shrunk.bits = core;
+            // Re-add literals until the cube excludes the initial states.
+            if (intersectsInit(shrunk)) {
+                for (auto bit : cube.bits) {
+                    if (std::find(shrunk.bits.begin(), shrunk.bits.end(),
+                                  bit) != shrunk.bits.end())
+                        continue;
+                    shrunk.bits.push_back(bit);
+                    if (!intersectsInit(shrunk))
+                        break;
+                }
+                std::sort(shrunk.bits.begin(), shrunk.bits.end());
+            }
+            if (!intersectsInit(shrunk))
+                cube = shrunk;
+        }
+
+        // 2. Bounded literal dropping.
+        size_t attempts = options_.generalizeAttempts;
+        for (size_t idx = 0; idx < cube.bits.size() && attempts > 0;) {
+            if (cube.bits.size() <= 1)
+                break;
+            Cube trial = cube;
+            trial.bits.erase(trial.bits.begin() + idx);
+            --attempts;
+            if (!intersectsInit(trial) &&
+                relativeInduction(trial, i, nullptr) == Status::Unsat) {
+                cube = trial; // idx now points at the next literal
+            } else {
+                ++idx;
+            }
+        }
+        return cube;
+    }
+
+    /** Block the states in `cube` (and generalizations) at frame `i`. */
+    void
+    addBlocked(const Cube &cube, size_t i)
+    {
+        std::vector<Lit> clause{~acts_[i]};
+        for (auto [bit, value] : cube.bits)
+            clause.push_back(value ? ~state0_[bit] : state0_[bit]);
+        transSolver_.addClause(clause);
+        ownedCubes_[i].push_back(cube);
+        ++blocked_;
+    }
+
+    void
+    moveCube(const Cube &cube, size_t from, size_t to)
+    {
+        auto &owned = ownedCubes_[from];
+        owned.erase(std::remove(owned.begin(), owned.end(), cube),
+                    owned.end());
+        addBlocked(cube, to);
+    }
+
+    void
+    newFrame()
+    {
+        acts_.push_back(transCnf_.fresh());
+        ownedCubes_.emplace_back();
+    }
+
+    /**
+     * Recursively block the obligation (state, frame). Returns false when
+     * the run is over (result filled with Cex or left as Timeout).
+     */
+    bool
+    blockObligation(const Cube &state, size_t k, PdrResult &result)
+    {
+        // Obligations ordered by frame (lowest first).
+        std::multimap<size_t, Cube> queue;
+        queue.emplace(k, state);
+        while (!queue.empty()) {
+            if (exhausted())
+                return false;
+            auto it = queue.begin();
+            size_t i = it->first;
+            Cube s = it->second;
+            if (i == 0) {
+                // A predecessor chain reached the initial states.
+                result.kind = PdrResult::Kind::Cex;
+                result.depth = k;
+                result.frames = k;
+                result.blockedCubes = blocked_;
+                return false;
+            }
+            Status status = relativeInduction(s, i, nullptr);
+            if (status == Status::Unknown)
+                return false;
+            if (status == Status::Sat) {
+                // Predecessor in F_{i-1}: block it first.
+                queue.emplace(i - 1, extractState());
+                continue;
+            }
+            // Blocked: generalize, record, and push the obligation
+            // forward so deeper frames re-examine it.
+            Cube c = generalize(s, i);
+            addBlocked(c, i);
+            queue.erase(it);
+            if (i < k)
+                queue.emplace(i + 1, s);
+        }
+        return true;
+    }
+
+    const rtl::Circuit &circuit_;
+    PdrOptions options_;
+    Budget *budget_;
+
+    sat::Solver transSolver_;
+    bitblast::CnfBuilder transCnf_;
+    bitblast::Unroller trans_;
+    sat::Solver initSolver_;
+    bitblast::CnfBuilder initCnf_;
+    bitblast::Unroller init_;
+
+    std::vector<Lit> state0_, state1_, stateInit_;
+    std::vector<bool> initKnown_;
+    std::vector<Lit> acts_;
+    std::vector<std::vector<Cube>> ownedCubes_;
+    uint64_t blocked_ = 0;
+};
+
+} // namespace
+
+PdrResult
+runPdr(const rtl::Circuit &circuit, const PdrOptions &options,
+       Budget *budget)
+{
+    csl_assert(circuit.finalized(), "PDR requires a finalized circuit");
+    Pdr engine(circuit, options, budget);
+    return engine.run();
+}
+
+} // namespace csl::mc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Property-directed reachability (PDR / IC3) over the bit-blasted
+ * encoding - the class of engine inside commercial proof tools (the
+ * paper's JasperGold "Mp"/"AM" engines). Unlike k-induction, PDR
+ * discovers its own inductive strengthening clause by clause, so it can
+ * close goals whose invariants are not expressible by our relational
+ * templates (DESIGN.md Section 6b).
+ *
+ * Implementation notes:
+ *  - frames are monotone clause sets over the frame-0 register bits,
+ *    realized with per-frame activation literals in a single incremental
+ *    solver holding a two-frame unrolling (current state -> next state);
+ *  - environment constraints are asserted in both frames; initial-state
+ *    membership is decided by a dedicated one-frame solver (our initial
+ *    states are a CNF predicate, not a cube);
+ *  - blocked cubes are generalized with unsat-core shrinking
+ *    (Solver::failedAssumptions) followed by bounded literal dropping,
+ *    keeping cubes disjoint from the initial states.
+ */
+
+#ifndef CSL_MC_PDR_H_
+#define CSL_MC_PDR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/budget.h"
+#include "bitblast/cnf_builder.h"
+#include "bitblast/unroller.h"
+#include "rtl/circuit.h"
+#include "sat/solver.h"
+
+namespace csl::mc {
+
+/** Outcome of a PDR run. */
+struct PdrResult
+{
+    enum class Kind {
+        Proof,   ///< an inductive frame closed: bad is unreachable
+        Cex,     ///< bad reachable (depth = number of steps from init)
+        Timeout, ///< budget exhausted
+    };
+    Kind kind = Kind::Timeout;
+    size_t depth = 0;  ///< Cex: trace length - 1; Proof: closing frame
+    uint64_t blockedCubes = 0;
+    uint64_t frames = 0;
+};
+
+/** PDR options. */
+struct PdrOptions
+{
+    /** Upper bound on frames (safety net; Proof/Cex usually earlier). */
+    size_t maxFrames = 200;
+    /** Literal-dropping attempts per generalization. */
+    size_t generalizeAttempts = 32;
+    /**
+     * Trusted invariants (1-bit nets holding in every reachable state,
+     * e.g. Houdini survivors) asserted in every frame - the standard
+     * "PDR with lemmas" strengthening. Sound: restricting the search to
+     * invariant states cannot hide reachable bad states.
+     */
+    std::vector<rtl::NetId> assumedInvariants;
+};
+
+/** Run PDR on the circuit's bad-state property. */
+PdrResult runPdr(const rtl::Circuit &circuit, const PdrOptions &options = {},
+                 Budget *budget = nullptr);
+
+} // namespace csl::mc
+
+#endif // CSL_MC_PDR_H_

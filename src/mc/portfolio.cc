@@ -1,0 +1,71 @@
+#include "mc/portfolio.h"
+
+#include "base/stopwatch.h"
+
+namespace csl::mc {
+
+const char *
+verdictName(Verdict verdict)
+{
+    switch (verdict) {
+      case Verdict::Attack: return "ATTACK";
+      case Verdict::Proof: return "PROOF";
+      case Verdict::BoundedSafe: return "BOUNDED-SAFE";
+      case Verdict::Timeout: return "TIMEOUT";
+    }
+    return "?";
+}
+
+CheckResult
+checkProperty(const rtl::Circuit &circuit, const CheckOptions &options)
+{
+    Stopwatch watch;
+    Budget budget(options.timeoutSeconds);
+    CheckResult result;
+
+    if (options.tryProof) {
+        KInductionOptions kopts;
+        kopts.maxK = options.maxDepth;
+        kopts.assumedInvariants = options.assumedInvariants;
+        KInduction engine(circuit, std::move(kopts));
+        KInductionResult kres = engine.run(&budget);
+        result.depth = kres.k;
+        result.conflicts = kres.conflicts;
+        switch (kres.kind) {
+          case KInductionResult::Kind::Cex:
+            result.verdict = Verdict::Attack;
+            result.trace = std::move(kres.trace);
+            break;
+          case KInductionResult::Kind::Proof:
+            result.verdict = Verdict::Proof;
+            break;
+          case KInductionResult::Kind::Unknown:
+            result.verdict = Verdict::BoundedSafe;
+            break;
+          case KInductionResult::Kind::Timeout:
+            result.verdict = Verdict::Timeout;
+            break;
+        }
+    } else {
+        Bmc engine(circuit);
+        BmcResult bres = engine.run(options.maxDepth, &budget);
+        result.depth = bres.depth;
+        result.conflicts = bres.conflicts;
+        switch (bres.kind) {
+          case BmcResult::Kind::Cex:
+            result.verdict = Verdict::Attack;
+            result.trace = std::move(bres.trace);
+            break;
+          case BmcResult::Kind::BoundedSafe:
+            result.verdict = Verdict::BoundedSafe;
+            break;
+          case BmcResult::Kind::Timeout:
+            result.verdict = Verdict::Timeout;
+            break;
+        }
+    }
+    result.seconds = watch.seconds();
+    return result;
+}
+
+} // namespace csl::mc

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The one-call property-checking facade used by the verification schemes
+ * and benches: run k-induction (which interleaves base-case BMC), or BMC
+ * alone, under a budget, and summarize the outcome.
+ */
+
+#ifndef CSL_MC_PORTFOLIO_H_
+#define CSL_MC_PORTFOLIO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/kinduction.h"
+#include "rtl/circuit.h"
+
+namespace csl::mc {
+
+/** Engine configuration. */
+struct CheckOptions
+{
+    /** Maximum BMC depth / induction k. */
+    size_t maxDepth = 40;
+    /** Wall-clock limit (the paper's 7-day timeout, scaled down). */
+    double timeoutSeconds = 600.0;
+    /** Attempt unbounded proofs; when false only BMC runs. */
+    bool tryProof = true;
+    /** Trusted strengthening invariants for the induction step. */
+    std::vector<rtl::NetId> assumedInvariants;
+};
+
+/** Final verdict of a verification task. */
+enum class Verdict {
+    Attack,      ///< counterexample found (a real attack program)
+    Proof,       ///< unbounded proof completed
+    BoundedSafe, ///< no attack up to maxDepth, no proof attempted/found
+    Timeout,     ///< budget exhausted without an answer
+};
+
+/** Render a verdict for tables. */
+const char *verdictName(Verdict verdict);
+
+/** Outcome summary. */
+struct CheckResult
+{
+    Verdict verdict = Verdict::Timeout;
+    size_t depth = 0; ///< cex frame or proof k or deepest safe bound
+    std::optional<Trace> trace;
+    double seconds = 0;
+    uint64_t conflicts = 0;
+};
+
+/** Check that no bad net of @p circuit is reachable. */
+CheckResult checkProperty(const rtl::Circuit &circuit,
+                          const CheckOptions &options = {});
+
+} // namespace csl::mc
+
+#endif // CSL_MC_PORTFOLIO_H_

@@ -1,0 +1,72 @@
+#include "mc/trace.h"
+
+#include <sstream>
+
+#include "base/logging.h"
+#include "sim/simulator.h"
+
+namespace csl::mc {
+
+using rtl::NetId;
+
+Trace
+extractTrace(const rtl::Circuit &circuit, const bitblast::Unroller &unroller,
+             size_t length)
+{
+    csl_assert(length >= 1 && length <= unroller.numFrames(),
+               "trace length out of range");
+    Trace trace;
+    trace.length = length;
+    const auto &cone = unroller.cone();
+    for (NetId reg : circuit.registers()) {
+        if (cone[reg])
+            trace.initialRegs[reg] = unroller.valueOf(reg, 0);
+    }
+    trace.inputs.resize(length);
+    for (size_t f = 0; f < length; ++f) {
+        for (NetId in : circuit.inputs()) {
+            if (cone[in])
+                trace.inputs[f][in] = unroller.valueOf(in, f);
+        }
+    }
+    return trace;
+}
+
+ReplayResult
+replayTrace(const rtl::Circuit &circuit, const Trace &trace)
+{
+    sim::Simulator simulator(circuit);
+    simulator.reset(trace.initialRegs);
+    ReplayResult result;
+    for (size_t f = 0; f < trace.length; ++f) {
+        simulator.evaluate(trace.inputs[f]);
+        if (f == 0)
+            result.initConstraintsHeld = simulator.initConstraintsHold();
+        if (!simulator.constraintsHold())
+            result.constraintsHeld = false;
+        if (f + 1 == trace.length)
+            result.badReached = simulator.anyBad();
+        simulator.tick();
+    }
+    return result;
+}
+
+std::string
+formatTrace(const rtl::Circuit &circuit, const Trace &trace,
+            const std::vector<NetId> &nets)
+{
+    sim::Simulator simulator(circuit);
+    simulator.reset(trace.initialRegs);
+    std::ostringstream oss;
+    for (size_t f = 0; f < trace.length; ++f) {
+        simulator.evaluate(trace.inputs[f]);
+        oss << "cycle " << f << ":";
+        for (NetId id : nets)
+            oss << " " << circuit.name(id) << "=" << simulator.value(id);
+        oss << "\n";
+        simulator.tick();
+    }
+    return oss.str();
+}
+
+} // namespace csl::mc

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Concrete counterexample traces: extraction from a satisfied unrolling
+ * and replay through the simulator (witness checking).
+ */
+
+#ifndef CSL_MC_TRACE_H_
+#define CSL_MC_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bitblast/unroller.h"
+#include "rtl/circuit.h"
+
+namespace csl::mc {
+
+/**
+ * A finite input trace: initial register values plus per-cycle input
+ * values. Everything else is determined by the circuit, so a Trace can be
+ * replayed deterministically in the simulator.
+ */
+struct Trace
+{
+    size_t length = 0; ///< number of cycles (frames)
+    std::unordered_map<rtl::NetId, uint64_t> initialRegs;
+    std::vector<std::unordered_map<rtl::NetId, uint64_t>> inputs;
+};
+
+/** Extract the model of a satisfied unrolling as a Trace of @p length. */
+Trace extractTrace(const rtl::Circuit &circuit,
+                   const bitblast::Unroller &unroller, size_t length);
+
+/** Outcome of replaying a trace in the interpreter. */
+struct ReplayResult
+{
+    bool initConstraintsHeld = true;
+    bool constraintsHeld = true; ///< at every replayed cycle
+    bool badReached = false;     ///< some bad net fired at the final cycle
+};
+
+/** Replay @p trace; used to cross-check SAT models against simulation. */
+ReplayResult replayTrace(const rtl::Circuit &circuit, const Trace &trace);
+
+/**
+ * Render the values of the named nets cycle-by-cycle (nets with
+ * generated names are skipped), for debugging counterexamples.
+ */
+std::string formatTrace(const rtl::Circuit &circuit, const Trace &trace,
+                        const std::vector<rtl::NetId> &nets);
+
+} // namespace csl::mc
+
+#endif // CSL_MC_TRACE_H_

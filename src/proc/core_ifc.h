@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The hook interface every processor exposes for verification.
+ *
+ * These are the signals the paper's shadow logic taps: per-commit-slot
+ * ISA-trace information (Section 5.1, "extend the existing ROB structure
+ * with shadow metadata"), the microarchitectural observation signals
+ * (memory-bus address sequence and commit timing, Section 2.2), and the
+ * ROB occupancy view the two-phase logic needs for the instruction
+ * inclusion requirement (Section 5.2.1).
+ */
+
+#ifndef CSL_PROC_CORE_IFC_H_
+#define CSL_PROC_CORE_IFC_H_
+
+#include <vector>
+
+#include "rtl/builder.h"
+
+namespace csl::proc {
+
+/** ISA-level information about one committing instruction. */
+struct CommitSlot
+{
+    rtl::Sig valid;     ///< an instruction commits in this slot
+    rtl::Sig exception; ///< it commits as a trap (no writeback)
+    rtl::Sig isLoad;
+    rtl::Sig isStore;
+    rtl::Sig isBranch;
+    rtl::Sig isMul;
+    rtl::Sig writesReg; ///< architectural register write happens
+    rtl::Sig wdata;     ///< writeback data (loads: the loaded value)
+    rtl::Sig addr;      ///< full architectural memory address (LD/ST)
+    rtl::Sig taken;     ///< branch condition/outcome (BEQZ)
+    rtl::Sig opA;       ///< ALU/MUL operand A
+    rtl::Sig opB;       ///< ALU/MUL operand B
+};
+
+/** Everything the verification schemes need from one core instance. */
+struct CoreIfc
+{
+    /** Commit slots, oldest first; size == commit width. */
+    std::vector<CommitSlot> commits;
+
+    /** Memory-bus observation: a (valid, address) pair per cycle. */
+    rtl::Sig memBusValid;
+    rtl::Sig memBusAddr;
+
+    /**
+     * Per-ROB-entry valid bits, physical index order, for the shadow
+     * logic's pre-divergence mask. In-order/single-cycle machines expose
+     * their pipeline latches (or nothing) here.
+     */
+    std::vector<rtl::Sig> robValid;
+
+    /**
+     * Per-ROB-entry exception flags (boomLike cores), used by the
+     * UPEC-like scheme to restrict the speculation source to branches.
+     */
+    std::vector<rtl::Sig> robException;
+
+    /**
+     * Per-ROB-entry exception *cause* flags (valid entries whose memory
+     * address is misaligned / out of range), used by the Section 7.1.4
+     * attack-exclusion iteration.
+     */
+    std::vector<rtl::Sig> robMisaligned;
+    std::vector<rtl::Sig> robOutOfRange;
+
+    /** Architectural registers (LEAVE invariant candidates). */
+    std::vector<rtl::Sig> archRegs;
+
+    /**
+     * Relational-invariant hints: structural (guard, value) pairs meaning
+     * "whenever the guard holds in both copies, the value should match
+     * across copies". Cores emit these from purely structural knowledge
+     * (e.g. "a completed, forwardable ROB result"); the proof pipeline
+     * turns them into candidate invariants and lets the Houdini pruning
+     * decide which actually hold. This is the architect-supplied shadow
+     * knowledge the paper leverages, expressed as reusable templates.
+     */
+    struct FwdHint
+    {
+        rtl::Sig guard;
+        rtl::Sig value;
+    };
+    std::vector<FwdHint> fwdHints;
+
+    /**
+     * Single-copy structural invariants (1-bit nets expected to hold in
+     * every reachable state): ROB-window consistency, rename-table
+     * validity, pointer bounds. Purely functional-correctness facts the
+     * designer knows; the proof pipeline validates them with the same
+     * Houdini pass before assuming them, so wrong hints cost
+     * completeness, never soundness.
+     */
+    std::vector<rtl::Sig> structuralInvariants;
+
+    /** Program counter. */
+    rtl::Sig pc;
+
+    /**
+     * Instruction memory (for equal-program constraints). Valid only
+     * while the Builder that created the core is alive; use the word
+     * vectors below after construction.
+     */
+    rtl::MemArray *imem = nullptr;
+
+    /** Data memory (for public-equal/secret-free constraints). */
+    rtl::MemArray *dmem = nullptr;
+
+    /** Stable per-word handles (outlive the Builder). */
+    std::vector<rtl::Sig> imemWords;
+    std::vector<rtl::Sig> dmemWords;
+};
+
+} // namespace csl::proc
+
+#endif // CSL_PROC_CORE_IFC_H_

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared combinational instruction-decode logic used by every core,
+ * guaranteeing all machines agree with the golden model's semantics.
+ */
+
+#ifndef CSL_PROC_DECODE_H_
+#define CSL_PROC_DECODE_H_
+
+#include <vector>
+
+#include "isa/isa.h"
+#include "rtl/builder.h"
+
+namespace csl::proc {
+
+/** Decoded fields and one-hot opcode classification of an instruction. */
+struct DecodedInstr
+{
+    rtl::Sig f1; ///< regBits
+    rtl::Sig f2; ///< regBits
+    rtl::Sig f3; ///< immLowBits
+
+    rtl::Sig isLi, isAdd, isMul, isLd, isSt, isBeqz;
+    rtl::Sig writesReg; ///< li|add|mul|ld
+    rtl::Sig isMem;     ///< ld|st
+
+    rtl::Sig srcB;  ///< regBits: f3 truncated to a register index
+    rtl::Sig imm;   ///< dataWidth: {f2,f3} truncated/extended
+    rtl::Sig pcOff; ///< pcBits: branch offset modulo imem size
+};
+
+/** Decode @p instr (instrBits wide) under @p config. Unsupported opcodes
+ * decode with all classification bits low (NOP). */
+inline DecodedInstr
+decodeInstr(rtl::Builder &b, rtl::Sig instr, const isa::IsaConfig &config)
+{
+    const int rb = config.regBits();
+    const int ib = config.immLowBits();
+    DecodedInstr d;
+    d.f3 = b.slice(instr, 0, ib);
+    d.f2 = b.slice(instr, ib, rb);
+    d.f1 = b.slice(instr, ib + rb, rb);
+    rtl::Sig op = b.slice(instr, ib + 2 * rb, 3);
+
+    using isa::Opcode;
+    auto is = [&](Opcode o) {
+        return b.eqConst(op, static_cast<uint64_t>(o));
+    };
+    d.isLi = is(Opcode::Li);
+    d.isAdd = is(Opcode::Add);
+    d.isMul = config.hasMul ? is(Opcode::Mul) : b.zero();
+    d.isLd = is(Opcode::Ld);
+    d.isSt = config.hasStore ? is(Opcode::St) : b.zero();
+    d.isBeqz = is(Opcode::Beqz);
+    d.writesReg = b.orAll({d.isLi, d.isAdd, d.isMul, d.isLd});
+    d.isMem = b.orOf(d.isLd, d.isSt);
+
+    d.srcB = b.slice(d.f3, 0, rb <= ib ? rb : ib);
+    if (d.srcB.width < rb)
+        d.srcB = b.resize(d.srcB, rb);
+    rtl::Sig imm_full = b.concat(d.f2, d.f3);
+    d.imm = b.resize(imm_full, config.dataWidth);
+    d.pcOff = b.resize(imm_full, config.pcBits());
+    return d;
+}
+
+/** Combinational register-file read at a dynamic index. */
+inline rtl::Sig
+readRegFile(rtl::Builder &b, const std::vector<rtl::Sig> &regs,
+            rtl::Sig idx)
+{
+    rtl::Sig value = regs[0];
+    for (size_t i = 1; i < regs.size(); ++i)
+        value = b.mux(b.eqConst(idx, i), regs[i], value);
+    return value;
+}
+
+/** Memory exception check per the IsaConfig trap features. */
+inline rtl::Sig
+memException(rtl::Builder &b, rtl::Sig addr, const isa::IsaConfig &config)
+{
+    rtl::Sig exc = b.zero();
+    if (config.trapOnMisaligned)
+        exc = b.orOf(exc, b.bit(addr, 0));
+    if (config.trapOnOutOfRange) {
+        int mem_bits = bitsFor(config.dmemSize);
+        if (addr.width > mem_bits) {
+            rtl::Sig high = b.slice(addr, mem_bits, addr.width - mem_bits);
+            exc = b.orOf(exc, b.redOr(high));
+        }
+    }
+    return exc;
+}
+
+} // namespace csl::proc
+
+#endif // CSL_PROC_DECODE_H_

@@ -1,0 +1,102 @@
+#include "proc/inorder_core.h"
+
+#include "base/logging.h"
+#include "proc/decode.h"
+
+namespace csl::proc {
+
+using rtl::Builder;
+using rtl::Sig;
+
+CoreIfc
+buildInOrderCore(Builder &b, const isa::IsaConfig &config,
+                 const std::string &prefix)
+{
+    config.check();
+    const int width = config.dataWidth;
+    const int pc_bits = config.pcBits();
+
+    CoreIfc ifc;
+    ifc.imem = &b.memory(prefix + ".imem", config.imemSize,
+                         config.instrBits(), true);
+    ifc.dmem = &b.memory(prefix + ".dmem", config.dmemSize, width, true);
+    for (size_t i = 0; i < ifc.imem->depth(); ++i)
+        ifc.imemWords.push_back(ifc.imem->word(i));
+    for (size_t i = 0; i < ifc.dmem->depth(); ++i)
+        ifc.dmemWords.push_back(ifc.dmem->word(i));
+    Sig pc = b.reg(prefix + ".pc", pc_bits, 0);
+    ifc.pc = pc;
+    std::vector<Sig> regs;
+    for (int i = 0; i < config.regCount; ++i)
+        regs.push_back(
+            b.symbolicReg(prefix + ".r" + std::to_string(i), width));
+    ifc.archRegs = regs;
+
+    // Execute-stage latch (stage 2).
+    Sig s2_valid = b.reg(prefix + ".s2.valid", 1, 0);
+    Sig s2_instr = b.reg(prefix + ".s2.instr", config.instrBits(), 0);
+    Sig s2_pc = b.reg(prefix + ".s2.pc", pc_bits, 0);
+
+    // --- Execute stage (non-speculative: older than anything in fetch) ---
+    DecodedInstr d = decodeInstr(b, s2_instr, config);
+    Sig val_f1 = readRegFile(b, regs, d.f1);
+    Sig val_f2 = readRegFile(b, regs, d.f2);
+    Sig val_srcB = readRegFile(b, regs, d.srcB);
+
+    Sig addr = val_f2;
+    Sig exception =
+        b.andOf(s2_valid, b.andOf(d.isMem, memException(b, addr, config)));
+    Sig load_data = ifc.dmem->read(addr);
+    Sig alu = b.mux(d.isMul, b.mul(val_f2, val_srcB),
+                    b.add(val_f2, val_srcB));
+    Sig wdata = b.mux(d.isLi, d.imm, b.mux(d.isLd, load_data, alu));
+    Sig do_write =
+        b.andOf(s2_valid, b.andOf(d.writesReg, b.notOf(exception)));
+
+    Sig cond = b.eqConst(val_f1, 0);
+    Sig taken = b.andOf(s2_valid, b.andOf(d.isBeqz, cond));
+
+    ifc.dmem->write(b.andOf(s2_valid,
+                            b.andOf(d.isSt, b.notOf(exception))),
+                    addr, val_f1);
+    for (int i = 0; i < config.regCount; ++i) {
+        Sig hit = b.andOf(do_write, b.eqConst(d.f1, i));
+        b.connect(regs[i], b.mux(hit, wdata, regs[i]));
+    }
+
+    // --- Fetch stage and redirect ---
+    Sig redirect = b.orOf(taken, exception);
+    Sig target = b.add(b.addConst(s2_pc, 1), d.pcOff);
+    Sig redirect_pc = b.mux(exception, b.lit(0, pc_bits), target);
+
+    b.connect(s2_valid, b.notOf(redirect)); // kill fetched instr on redirect
+    b.connect(s2_instr, ifc.imem->read(pc));
+    b.connect(s2_pc, pc);
+    b.connect(pc, b.mux(redirect, redirect_pc, b.addConst(pc, 1)));
+
+    // --- Commit interface: execute == commit ---
+    CommitSlot slot;
+    slot.valid = s2_valid;
+    slot.exception = exception;
+    slot.isLoad = b.andOf(s2_valid, d.isLd);
+    slot.isStore = b.andOf(s2_valid, d.isSt);
+    slot.isBranch = b.andOf(s2_valid, d.isBeqz);
+    slot.isMul = b.andOf(s2_valid, d.isMul);
+    slot.writesReg = do_write;
+    slot.wdata = wdata;
+    slot.addr = addr;
+    slot.taken = taken;
+    slot.opA = b.mux(d.isBeqz, val_f1, val_f2);
+    slot.opB = val_srcB;
+    ifc.commits.push_back(slot);
+
+    ifc.memBusValid =
+        b.andOf(s2_valid, b.andOf(d.isMem, b.notOf(exception)));
+    ifc.memBusAddr = addr;
+    ifc.robValid.push_back(s2_valid);
+    ifc.robException.push_back(exception);
+
+    return ifc;
+}
+
+} // namespace csl::proc

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * A 2-stage in-order pipelined core - the analog of the paper's Sodor
+ * target. Fetch and execute stages; branches resolve in execute and kill
+ * the fetched instruction (one bubble); data memory is only accessed by
+ * the non-speculative execute stage, so the core is secure by
+ * construction for both contracts.
+ */
+
+#ifndef CSL_PROC_INORDER_CORE_H_
+#define CSL_PROC_INORDER_CORE_H_
+
+#include <string>
+
+#include "isa/isa.h"
+#include "proc/core_ifc.h"
+#include "rtl/builder.h"
+
+namespace csl::proc {
+
+/** Instantiate the in-order core (see file comment). */
+CoreIfc buildInOrderCore(rtl::Builder &b, const isa::IsaConfig &config,
+                         const std::string &prefix);
+
+} // namespace csl::proc
+
+#endif // CSL_PROC_INORDER_CORE_H_

@@ -1,0 +1,97 @@
+#include "proc/isa_machine.h"
+
+#include "base/logging.h"
+#include "proc/decode.h"
+
+namespace csl::proc {
+
+using rtl::Builder;
+using rtl::MemArray;
+using rtl::Sig;
+
+CoreIfc
+buildIsaMachine(Builder &b, const isa::IsaConfig &config,
+                const std::string &prefix)
+{
+    config.check();
+    const int width = config.dataWidth;
+    const int pc_bits = config.pcBits();
+
+    CoreIfc ifc;
+    ifc.imem = &b.memory(prefix + ".imem", config.imemSize,
+                         config.instrBits(), /*symbolic_init=*/true);
+    ifc.dmem = &b.memory(prefix + ".dmem", config.dmemSize, width,
+                         /*symbolic_init=*/true);
+    for (size_t i = 0; i < ifc.imem->depth(); ++i)
+        ifc.imemWords.push_back(ifc.imem->word(i));
+    for (size_t i = 0; i < ifc.dmem->depth(); ++i)
+        ifc.dmemWords.push_back(ifc.dmem->word(i));
+    Sig pc = b.reg(prefix + ".pc", pc_bits, 0);
+    ifc.pc = pc;
+    std::vector<Sig> regs;
+    for (int i = 0; i < config.regCount; ++i)
+        regs.push_back(
+            b.symbolicReg(prefix + ".r" + std::to_string(i), width));
+    ifc.archRegs = regs;
+
+    // Fetch + decode.
+    Sig instr = ifc.imem->read(b.resize(pc, pc_bits));
+    DecodedInstr d = decodeInstr(b, instr, config);
+
+    // Operand reads.
+    Sig val_f1 = readRegFile(b, regs, d.f1);
+    Sig val_f2 = readRegFile(b, regs, d.f2);
+    Sig val_srcB = readRegFile(b, regs, d.srcB);
+
+    // Execute.
+    Sig addr = val_f2; // LD/ST address register is f2
+    Sig exception = b.andOf(d.isMem, memException(b, addr, config));
+    Sig load_data = ifc.dmem->read(addr);
+    Sig alu = b.mux(d.isMul, b.mul(val_f2, val_srcB),
+                    b.add(val_f2, val_srcB));
+    Sig wdata = b.mux(d.isLi, d.imm, b.mux(d.isLd, load_data, alu));
+    Sig do_write = b.andOf(d.writesReg, b.notOf(exception));
+
+    // Branch.
+    Sig cond = b.eqConst(val_f1, 0);
+    Sig taken = b.andOf(d.isBeqz, cond);
+
+    // Memory write.
+    ifc.dmem->write(b.andOf(d.isSt, b.notOf(exception)), addr, val_f1);
+
+    // Register writeback.
+    for (int i = 0; i < config.regCount; ++i) {
+        Sig hit = b.andOf(do_write, b.eqConst(d.f1, i));
+        b.connect(regs[i], b.mux(hit, wdata, regs[i]));
+    }
+
+    // Next pc: exception > taken branch > fall-through.
+    Sig pc_inc = b.addConst(pc, 1);
+    Sig target = b.add(pc_inc, d.pcOff);
+    Sig next_pc = b.mux(exception, b.lit(0, pc_bits),
+                        b.mux(taken, target, pc_inc));
+    b.connect(pc, next_pc);
+
+    // Commit interface: one instruction per cycle, always.
+    CommitSlot slot;
+    slot.valid = b.one();
+    slot.exception = exception;
+    slot.isLoad = d.isLd;
+    slot.isStore = d.isSt;
+    slot.isBranch = d.isBeqz;
+    slot.isMul = d.isMul;
+    slot.writesReg = do_write;
+    slot.wdata = wdata;
+    slot.addr = addr;
+    slot.taken = taken;
+    slot.opA = b.mux(d.isBeqz, val_f1, val_f2);
+    slot.opB = val_srcB;
+    ifc.commits.push_back(slot);
+
+    ifc.memBusValid = b.andOf(d.isMem, b.notOf(exception));
+    ifc.memBusAddr = addr;
+
+    return ifc;
+}
+
+} // namespace csl::proc

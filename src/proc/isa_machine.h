@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The single-cycle ISA machine: executes exactly one instruction per
+ * cycle. Two instances of it enforce the contract constraint check in the
+ * paper's *baseline* verification scheme (Fig. 1a); Contract Shadow Logic
+ * exists to eliminate them.
+ */
+
+#ifndef CSL_PROC_ISA_MACHINE_H_
+#define CSL_PROC_ISA_MACHINE_H_
+
+#include <string>
+
+#include "isa/isa.h"
+#include "proc/core_ifc.h"
+#include "rtl/builder.h"
+
+namespace csl::proc {
+
+/**
+ * Instantiate a single-cycle machine. Instruction and data memories are
+ * created with symbolic initial state (the model checker explores all
+ * programs and memory contents); callers add equality constraints between
+ * instances. Respects any clock gate active on @p b.
+ */
+CoreIfc buildIsaMachine(rtl::Builder &b, const isa::IsaConfig &config,
+                        const std::string &prefix);
+
+} // namespace csl::proc
+
+#endif // CSL_PROC_ISA_MACHINE_H_

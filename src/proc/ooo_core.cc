@@ -1,0 +1,859 @@
+#include "proc/ooo_core.h"
+
+#include "base/logging.h"
+#include "isa/isa.h"
+#include "proc/decode.h"
+
+namespace csl::proc {
+
+using defense::Defense;
+using isa::Opcode;
+using rtl::Builder;
+using rtl::Sig;
+
+void
+OoOConfig::check() const
+{
+    isa.check();
+    csl_assert(robSize >= 2 && robSize <= 16, "robSize out of range");
+    csl_assert(commitWidth == 1 || commitWidth == 2,
+               "commitWidth must be 1 or 2");
+    csl_assert(defense != Defense::DoMSpectre || hasCache,
+               "DoM defense requires the cache");
+    csl_assert(cacheMissCycles >= 2, "cacheMissCycles must be >= 2");
+}
+
+namespace {
+
+/** Per-entry register file: one Sig per ROB slot. */
+using EntryRegs = std::vector<Sig>;
+
+/** Dynamic-index read over per-entry signals (mux chain). */
+Sig
+readEntries(Builder &b, const EntryRegs &field, Sig idx)
+{
+    Sig value = field[0];
+    for (size_t i = 1; i < field.size(); ++i)
+        value = b.mux(b.eqConst(idx, i), field[i], value);
+    return value;
+}
+
+} // namespace
+
+CoreIfc
+buildOoOCore(Builder &b, const OoOConfig &config, const std::string &prefix)
+{
+    config.check();
+    const isa::IsaConfig &ic = config.isa;
+    const int N = config.robSize;
+    const int W = ic.dataWidth;
+    const int pc_bits = ic.pcBits();
+    const int rb = ic.regBits();
+    const int idx_bits = bitsFor(N);
+    const int cnt_bits = bitsFor(N + 1);
+    const Defense defense = config.defense;
+
+    auto rn = [&](const std::string &suffix) { return prefix + suffix; };
+
+    // --- Architectural state ------------------------------------------------
+    CoreIfc ifc;
+    ifc.imem = &b.memory(rn(".imem"), ic.imemSize, ic.instrBits(), true);
+    ifc.dmem = &b.memory(rn(".dmem"), ic.dmemSize, W, true);
+    for (size_t i = 0; i < ifc.imem->depth(); ++i)
+        ifc.imemWords.push_back(ifc.imem->word(i));
+    for (size_t i = 0; i < ifc.dmem->depth(); ++i)
+        ifc.dmemWords.push_back(ifc.dmem->word(i));
+    Sig pc = b.reg(rn(".pc"), pc_bits, 0);
+    ifc.pc = pc;
+    std::vector<Sig> regs;
+    for (int r = 0; r < ic.regCount; ++r) {
+        std::string name = rn(".r" + std::to_string(r));
+        regs.push_back(config.symbolicRegInit ? b.symbolicReg(name, W)
+                                              : b.reg(name, W, 0));
+    }
+    ifc.archRegs = regs;
+
+    // Rename table.
+    std::vector<Sig> busy, rtag;
+    for (int r = 0; r < ic.regCount; ++r) {
+        busy.push_back(b.reg(rn(".busy" + std::to_string(r)), 1, 0));
+        rtag.push_back(b.reg(rn(".rtag" + std::to_string(r)), idx_bits, 0));
+    }
+
+    // ROB pointers.
+    Sig head = b.reg(rn(".head"), idx_bits, 0);
+    Sig count = b.reg(rn(".count"), cnt_bits, 0);
+
+    // ROB entry fields.
+    auto entry_regs = [&](const std::string &field, int width,
+                          bool symbolic = false) {
+        EntryRegs v;
+        for (int i = 0; i < N; ++i) {
+            std::string name =
+                rn(".rob" + std::to_string(i) + "." + field);
+            v.push_back(symbolic ? b.symbolicReg(name, width)
+                                 : b.reg(name, width, 0));
+        }
+        return v;
+    };
+    EntryRegs valid = entry_regs("valid", 1);
+    EntryRegs op3 = entry_regs("op", 3);
+    EntryRegs rd = entry_regs("rd", rb);
+    EntryRegs immW = entry_regs("imm", W);
+    EntryRegs pcOff = entry_regs("pcOff", pc_bits);
+    EntryRegs entryPc = entry_regs("pc", pc_bits);
+    EntryRegs aValid = entry_regs("aValid", 1);
+    EntryRegs aVal = entry_regs("aVal", W);
+    EntryRegs aTag = entry_regs("aTag", idx_bits);
+    EntryRegs bValid = entry_regs("bValid", 1);
+    EntryRegs bVal = entry_regs("bVal", W);
+    EntryRegs bTag = entry_regs("bTag", idx_bits);
+    EntryRegs done = entry_regs("done", 1);
+    EntryRegs result = entry_regs("result", W);
+    EntryRegs takenR = entry_regs("taken", 1);
+    EntryRegs excR = entry_regs("exc", 1);
+    EntryRegs brAtDisp = entry_regs("brAtDisp", 1);
+    EntryRegs memIssued = entry_regs("memIssued", 1);
+
+    // Cache / MSHR state (DoM).
+    Sig cacheValid, cacheTag, cacheData;
+    Sig mshrActive, mshrIdx, mshrAddr, mshrCd;
+    const int cd_bits = bitsFor(config.cacheMissCycles + 1);
+    if (config.hasCache) {
+        cacheValid = b.reg(rn(".cache.valid"), 1, 0);
+        cacheTag = b.reg(rn(".cache.tag"), W, 0);
+        cacheData = b.reg(rn(".cache.data"), W, 0);
+        mshrActive = b.reg(rn(".mshr.active"), 1, 0);
+        mshrIdx = b.reg(rn(".mshr.idx"), idx_bits, 0);
+        mshrAddr = b.reg(rn(".mshr.addr"), W, 0);
+        mshrCd = b.reg(rn(".mshr.cd"), cd_bits, 0);
+    }
+
+    // --- Per-entry classification ---------------------------------------
+    auto op_is = [&](int i, Opcode o) {
+        return b.eqConst(op3[i], static_cast<uint64_t>(o));
+    };
+    EntryRegs eIsLi(N), eIsAdd(N), eIsMul(N), eIsLd(N), eIsSt(N),
+        eIsBeqz(N), eWrites(N), fwdOk(N);
+    for (int i = 0; i < N; ++i) {
+        eIsLi[i] = op_is(i, Opcode::Li);
+        eIsAdd[i] = op_is(i, Opcode::Add);
+        eIsMul[i] = ic.hasMul ? op_is(i, Opcode::Mul) : b.zero();
+        eIsLd[i] = op_is(i, Opcode::Ld);
+        eIsSt[i] = ic.hasStore ? op_is(i, Opcode::St) : b.zero();
+        eIsBeqz[i] = op_is(i, Opcode::Beqz);
+        eWrites[i] = b.orAll({eIsLi[i], eIsAdd[i], eIsMul[i], eIsLd[i]});
+        // NoFwd defenses: load results are not forwardable pre-commit.
+        Sig nofwd = b.zero();
+        if (defense == Defense::NoFwdFuturistic)
+            nofwd = eIsLd[i];
+        else if (defense == Defense::NoFwdSpectre)
+            nofwd = b.andOf(eIsLd[i], brAtDisp[i]);
+        fwdOk[i] = b.notOf(nofwd);
+    }
+
+    // Entry ages (distance from head, modulo N).
+    auto wrap_sub = [&](Sig x, Sig y) {
+        // (x - y) mod N on idx_bits+1 bits.
+        Sig xe = b.resize(x, idx_bits + 1);
+        Sig ye = b.resize(y, idx_bits + 1);
+        Sig diff = b.sub(xe, ye);
+        Sig wrapped = b.add(diff, b.lit(N, idx_bits + 1));
+        Sig use_wrap = b.bit(diff, idx_bits); // negative (borrow)
+        return b.slice(b.mux(use_wrap, wrapped, diff), 0, idx_bits + 1);
+    };
+    std::vector<Sig> age(N);
+    for (int i = 0; i < N; ++i)
+        age[i] = wrap_sub(b.lit(i, idx_bits), head);
+
+    auto add_mod_n = [&](Sig x, int delta) {
+        Sig sum = b.addConst(b.resize(x, idx_bits + 1), delta);
+        Sig wrapped = b.sub(sum, b.lit(N, idx_bits + 1));
+        Sig overflow = b.ule(b.lit(N, idx_bits + 1), sum);
+        return b.slice(b.mux(overflow, wrapped, sum), 0, idx_bits);
+    };
+    Sig tail = [&] {
+        Sig sum = b.add(b.resize(head, idx_bits + 1),
+                        b.resize(count, idx_bits + 1));
+        Sig wrapped = b.sub(sum, b.lit(N, idx_bits + 1));
+        Sig overflow = b.ule(b.lit(N, idx_bits + 1), sum);
+        return b.slice(b.mux(overflow, wrapped, sum), 0, idx_bits);
+    }();
+
+    // --- Commit slots -----------------------------------------------------
+    struct SlotWires
+    {
+        Sig idx, commit, isLd, isSt, isBr, isMul, writes, exc, mispredict,
+            flush, rd, result, addr, bval, taken, target, pcv;
+    };
+    auto make_slot = [&](Sig idx, Sig can) {
+        SlotWires s;
+        s.idx = idx;
+        s.commit = b.andOf(can, b.andOf(readEntries(b, valid, idx),
+                                        readEntries(b, done, idx)));
+        s.isLd = readEntries(b, eIsLd, idx);
+        s.isSt = readEntries(b, eIsSt, idx);
+        s.isBr = readEntries(b, eIsBeqz, idx);
+        s.isMul = readEntries(b, eIsMul, idx);
+        s.exc = b.andOf(s.commit, readEntries(b, excR, idx));
+        s.writes = b.andOf(s.commit,
+                           b.andOf(readEntries(b, eWrites, idx),
+                                   b.notOf(readEntries(b, excR, idx))));
+        s.mispredict =
+            b.andOf(s.commit, b.andOf(s.isBr, readEntries(b, takenR, idx)));
+        s.flush = b.orOf(s.mispredict, s.exc);
+        s.rd = readEntries(b, rd, idx);
+        s.result = readEntries(b, result, idx);
+        s.addr = readEntries(b, aVal, idx);
+        s.bval = readEntries(b, bVal, idx);
+        s.taken = readEntries(b, takenR, idx);
+        s.pcv = readEntries(b, entryPc, idx);
+        s.target = b.add(b.addConst(s.pcv, 1),
+                         readEntries(b, pcOff, idx));
+        return s;
+    };
+
+    Sig have1 = b.ule(b.lit(1, cnt_bits), count);
+    SlotWires slot0 = make_slot(head, have1);
+    SlotWires slot1;
+    Sig commit1 = b.zero();
+    if (config.commitWidth == 2) {
+        Sig have2 = b.ule(b.lit(2, cnt_bits), count);
+        Sig c1 = add_mod_n(head, 1);
+        slot1 = make_slot(c1, b.andOf(slot0.commit,
+                                      b.andOf(have2,
+                                              b.notOf(slot0.flush))));
+        // Structural: one store (one dmem/bus port) per cycle.
+        slot1.commit = b.andOf(slot1.commit,
+                               b.notOf(b.andOf(slot0.isSt, slot1.isSt)));
+        // Recompute dependent wires after the extra gating.
+        slot1.exc = b.andOf(slot1.commit, readEntries(b, excR, slot1.idx));
+        slot1.writes =
+            b.andOf(slot1.commit,
+                    b.andOf(readEntries(b, eWrites, slot1.idx),
+                            b.notOf(readEntries(b, excR, slot1.idx))));
+        slot1.mispredict = b.andOf(slot1.commit,
+                                   b.andOf(slot1.isBr, slot1.taken));
+        slot1.flush = b.orOf(slot1.mispredict, slot1.exc);
+        commit1 = slot1.commit;
+    }
+    Sig flush = config.commitWidth == 2 ? b.orOf(slot0.flush, slot1.flush)
+                                        : slot0.flush;
+
+    // commitsNow / commit-time forwarding (NoFwd loads broadcast here).
+    EntryRegs commitsNow(N);
+    for (int i = 0; i < N; ++i) {
+        Sig here = b.andOf(slot0.commit, b.eqConst(head, i));
+        if (config.commitWidth == 2)
+            here = b.orOf(here,
+                          b.andOf(commit1, b.eqConst(slot1.idx, i)));
+        // Forward at commit only when the instruction really writes.
+        commitsNow[i] =
+            b.andOf(here, b.andOf(eWrites[i], b.notOf(excR[i])));
+    }
+
+    // --- Store handling ----------------------------------------------------
+    Sig store_commit0 =
+        b.andOf(slot0.commit, b.andOf(slot0.isSt, b.notOf(slot0.exc)));
+    Sig store_commit1 = b.zero();
+    if (config.commitWidth == 2)
+        store_commit1 =
+            b.andOf(commit1, b.andOf(slot1.isSt, b.notOf(slot1.exc)));
+    Sig store_on_bus = b.orOf(store_commit0, store_commit1);
+
+    if (ic.hasStore) {
+        ifc.dmem->write(store_commit0, slot0.addr, slot0.bval);
+        if (config.commitWidth == 2)
+            ifc.dmem->write(store_commit1, slot1.addr, slot1.bval);
+    }
+
+    // Older-store-exists check (conservative memory ordering for loads).
+    std::vector<Sig> older_store(N, b.zero());
+    if (ic.hasStore) {
+        for (int i = 0; i < N; ++i) {
+            std::vector<Sig> terms;
+            for (int j = 0; j < N; ++j) {
+                if (j == i)
+                    continue;
+                Sig older = b.ult(b.resize(age[j], idx_bits + 1),
+                                  b.resize(age[i], idx_bits + 1));
+                terms.push_back(
+                    b.andOf(b.andOf(valid[j], eIsSt[j]), older));
+            }
+            older_store[i] = b.orAll(terms);
+        }
+    }
+
+    // --- Load issue --------------------------------------------------------
+    std::vector<Sig> is_head(N), probe_hit(N, Sig{}), dom_mem_ok(N, Sig{});
+    for (int i = 0; i < N; ++i)
+        is_head[i] = b.eqConst(head, i);
+
+    std::vector<Sig> issue_req(N);
+    for (int i = 0; i < N; ++i) {
+        Sig allow = b.one();
+        switch (defense) {
+          case Defense::None:
+          case Defense::NoFwdFuturistic:
+          case Defense::NoFwdSpectre:
+            break;
+          case Defense::DelayFuturistic:
+            allow = is_head[i];
+            break;
+          case Defense::DelaySpectre:
+            allow = b.orOf(b.notOf(brAtDisp[i]), is_head[i]);
+            break;
+          case Defense::DoMSpectre:
+            // Probe always allowed; the memory (miss) path is gated below.
+            break;
+        }
+        Sig req = b.andAll({valid[i], eIsLd[i], b.notOf(done[i]),
+                            b.notOf(memIssued[i]), aValid[i], allow,
+                            b.notOf(older_store[i]),
+                            b.notOf(store_on_bus)});
+        if (config.hasCache) {
+            probe_hit[i] =
+                b.andOf(cacheValid, b.eq(cacheTag, aVal[i]));
+            dom_mem_ok[i] = defense == Defense::DoMSpectre
+                                ? b.orOf(b.notOf(brAtDisp[i]), is_head[i])
+                                : b.one();
+            // A blocked miss does not arbitrate; an outstanding miss
+            // blocks everything (single MSHR).
+            req = b.andAll({req, b.notOf(mshrActive),
+                            b.orOf(probe_hit[i], dom_mem_ok[i])});
+        }
+        issue_req[i] = req;
+    }
+    // One grant per cycle, fixed physical-index priority (as in simple
+    // RTL arbiters). Because ROB slots are allocated round-robin, a
+    // younger speculative load can win the slot over an older one - the
+    // contention channel speculative-interference attacks exploit.
+    std::vector<Sig> grant(N);
+    {
+        Sig taken_slot = b.zero();
+        for (int i = 0; i < N; ++i) {
+            grant[i] = b.andOf(issue_req[i], b.notOf(taken_slot));
+            taken_slot = b.orOf(taken_slot, issue_req[i]);
+        }
+    }
+    Sig grant_any = b.orAll(grant);
+    Sig grant_addr = b.lit(0, W);
+    for (int i = 0; i < N; ++i)
+        grant_addr = b.mux(grant[i], aVal[i], grant_addr);
+    Sig grant_to_mem = grant_any;
+    if (config.hasCache) {
+        std::vector<Sig> mem_grants;
+        for (int i = 0; i < N; ++i)
+            mem_grants.push_back(b.andOf(grant[i], b.notOf(probe_hit[i])));
+        grant_to_mem = b.orAll(mem_grants);
+    }
+
+    // --- Execution wires per entry ---------------------------------------
+    Sig dmem_grant_data = ifc.dmem->read(grant_addr);
+    Sig mshr_fill_now, mshr_data;
+    if (config.hasCache) {
+        mshr_fill_now = b.andOf(mshrActive, b.eqConst(mshrCd, 0));
+        mshr_data = ifc.dmem->read(mshrAddr);
+    }
+
+    std::vector<Sig> done_set(N), result_next(N), taken_next(N),
+        exc_set(N), mem_issued_set(N);
+    for (int i = 0; i < N; ++i) {
+        Sig ready =
+            b.andAll({valid[i], b.notOf(done[i]), aValid[i], bValid[i]});
+        Sig exec_alu =
+            b.andOf(ready, b.orAll({eIsLi[i], eIsAdd[i], eIsMul[i]}));
+        Sig exec_br = b.andOf(ready, eIsBeqz[i]);
+        Sig exec_st = b.andOf(ready, eIsSt[i]);
+        // Unsupported opcodes decode to 6/7: complete as NOPs.
+        Sig known = b.orAll({eIsLi[i], eIsAdd[i], eIsMul[i], eIsLd[i],
+                             eIsSt[i], eIsBeqz[i]});
+        Sig exec_nop = b.andOf(ready, b.notOf(known));
+
+        Sig alu_val = b.mux(eIsLi[i], immW[i],
+                            b.mux(eIsMul[i], b.mul(aVal[i], bVal[i]),
+                                  b.add(aVal[i], bVal[i])));
+        Sig mem_exc = memException(b, aVal[i], ic);
+
+        Sig load_done = grant[i];
+        Sig load_data = dmem_grant_data;
+        if (config.hasCache) {
+            // Hit: data from the cache line; miss: MSHR fill later.
+            load_done = b.andOf(grant[i], probe_hit[i]);
+            load_data = cacheData;
+            Sig fill = b.andOf(mshr_fill_now, b.eqConst(mshrIdx, i));
+            load_done = b.orOf(load_done, fill);
+            load_data = b.mux(fill, mshr_data, load_data);
+        }
+
+        done_set[i] =
+            b.orAll({exec_alu, exec_br, exec_st, exec_nop, load_done});
+        result_next[i] = b.mux(load_done, load_data, alu_val);
+        taken_next[i] = b.andOf(exec_br, b.eqConst(aVal[i], 0));
+        exc_set[i] = b.orOf(b.andOf(exec_st, mem_exc),
+                            b.andOf(grant[i], mem_exc));
+        mem_issued_set[i] = grant[i];
+    }
+
+    // --- Operand capture ---------------------------------------------------
+    std::vector<Sig> capA(N), capA_val(N), capB(N), capB_val(N);
+    for (int i = 0; i < N; ++i) {
+        Sig t = aTag[i];
+        Sig vis = b.orOf(b.andOf(readEntries(b, done, t),
+                                 readEntries(b, fwdOk, t)),
+                         readEntries(b, commitsNow, t));
+        capA[i] = b.andAll({valid[i], b.notOf(aValid[i]), vis});
+        capA_val[i] = readEntries(b, result, t);
+
+        Sig u = bTag[i];
+        Sig visB = b.orOf(b.andOf(readEntries(b, done, u),
+                                  readEntries(b, fwdOk, u)),
+                          readEntries(b, commitsNow, u));
+        capB[i] = b.andAll({valid[i], b.notOf(bValid[i]), visB});
+        capB_val[i] = readEntries(b, result, u);
+    }
+
+    // --- Dispatch ----------------------------------------------------------
+    Sig rob_full = b.eqConst(count, N);
+    Sig dispatching = b.andOf(b.notOf(rob_full), b.notOf(flush));
+    Sig instr = ifc.imem->read(pc);
+    DecodedInstr d = decodeInstr(b, instr, ic);
+
+    Sig branch_pending = b.zero();
+    for (int i = 0; i < N; ++i)
+        branch_pending = b.orOf(branch_pending,
+                                b.andOf(valid[i], eIsBeqz[i]));
+
+    Sig src_a = b.mux(d.isBeqz, d.f1, d.f2);
+    Sig src_b = b.mux(d.isSt, d.f1, d.srcB);
+    auto rename_lookup = [&](Sig r) {
+        struct Lookup
+        {
+            Sig usesTag, val, tag;
+        } lk;
+        Sig r_busy = readRegFile(b, busy, r);
+        Sig t = readRegFile(b, rtag, r);
+        Sig t_done = readEntries(b, done, t);
+        Sig t_fwd = readEntries(b, fwdOk, t);
+        Sig t_commit = readEntries(b, commitsNow, t);
+        Sig t_res = readEntries(b, result, t);
+        Sig value_ready = b.orOf(b.andOf(t_done, t_fwd), t_commit);
+        lk.usesTag = b.andOf(r_busy, b.notOf(value_ready));
+        // Canonicalize the don't-care: while waiting on a tag the value
+        // field is architecturally unused, so latch 0 rather than the
+        // producer's (possibly speculative) current result. Keeps
+        // unused state deterministic, which the relational invariant
+        // search depends on.
+        lk.val = b.mux(lk.usesTag, b.lit(0, W),
+                       b.mux(r_busy, t_res, readRegFile(b, regs, r)));
+        lk.tag = t;
+        return lk;
+    };
+    auto lkA = rename_lookup(src_a);
+    auto lkB = rename_lookup(src_b);
+
+    // LI and NOP have no sources; LD/BEQZ use only A.
+    Sig uses_a = b.orAll({d.isAdd, d.isMul, d.isLd, d.isSt, d.isBeqz});
+    Sig uses_b = b.orAll({d.isAdd, d.isMul, d.isSt});
+    Sig disp_a_valid = b.orOf(b.notOf(uses_a), b.notOf(lkA.usesTag));
+    Sig disp_b_valid = b.orOf(b.notOf(uses_b), b.notOf(lkB.usesTag));
+
+    // Dispatch opcode: re-encode classification into the 3-bit field so
+    // unsupported opcodes land on NOP (6).
+    Sig disp_op = b.lit(static_cast<uint64_t>(Opcode::Nop), 3);
+    auto sel_op = [&](Sig cond, Opcode o) {
+        disp_op = b.mux(cond, b.lit(static_cast<uint64_t>(o), 3), disp_op);
+    };
+    sel_op(d.isLi, Opcode::Li);
+    sel_op(d.isAdd, Opcode::Add);
+    sel_op(d.isMul, Opcode::Mul);
+    sel_op(d.isLd, Opcode::Ld);
+    sel_op(d.isSt, Opcode::St);
+    sel_op(d.isBeqz, Opcode::Beqz);
+
+    // --- Register/rename/memory write-back --------------------------------
+    for (int r = 0; r < ic.regCount; ++r) {
+        Sig w0 = b.andOf(slot0.writes, b.eqConst(slot0.rd, r));
+        Sig next = b.mux(w0, slot0.result, regs[r]);
+        if (config.commitWidth == 2) {
+            Sig w1 = b.andOf(slot1.writes, b.eqConst(slot1.rd, r));
+            next = b.mux(w1, slot1.result, next);
+        }
+        b.connect(regs[r], next);
+
+        Sig disp_sets = b.andAll({dispatching, d.writesReg,
+                                  b.eqConst(d.f1, r)});
+        Sig clear = b.andAll({busy[r], b.eq(rtag[r], head),
+                              slot0.commit});
+        if (config.commitWidth == 2)
+            clear = b.orOf(clear,
+                           b.andAll({busy[r], b.eq(rtag[r], slot1.idx),
+                                     commit1}));
+        Sig busy_next = b.mux(flush, b.zero(),
+                              b.mux(disp_sets, b.one(),
+                                    b.mux(clear, b.zero(), busy[r])));
+        b.connect(busy[r], busy_next);
+        b.connect(rtag[r], b.mux(disp_sets, tail, rtag[r]));
+    }
+
+    // --- ROB entry next-state ----------------------------------------------
+    for (int i = 0; i < N; ++i) {
+        Sig is_tail = b.andOf(dispatching, b.eqConst(tail, i));
+        Sig commit_clear = b.andOf(slot0.commit, b.eqConst(head, i));
+        if (config.commitWidth == 2)
+            commit_clear = b.orOf(commit_clear,
+                                  b.andOf(commit1,
+                                          b.eqConst(slot1.idx, i)));
+        Sig clear = b.orOf(flush, commit_clear);
+
+        b.connect(valid[i],
+                  b.mux(is_tail, b.one(),
+                        b.mux(clear, b.zero(), valid[i])));
+        b.connect(op3[i], b.mux(is_tail, disp_op, op3[i]));
+        b.connect(rd[i], b.mux(is_tail, d.f1, rd[i]));
+        b.connect(immW[i], b.mux(is_tail, d.imm, immW[i]));
+        b.connect(pcOff[i], b.mux(is_tail, d.pcOff, pcOff[i]));
+        b.connect(entryPc[i], b.mux(is_tail, pc, entryPc[i]));
+        b.connect(aValid[i],
+                  b.mux(is_tail, disp_a_valid,
+                        b.orOf(aValid[i], capA[i])));
+        b.connect(aVal[i], b.mux(is_tail, lkA.val,
+                                 b.mux(capA[i], capA_val[i], aVal[i])));
+        b.connect(aTag[i], b.mux(is_tail, lkA.tag, aTag[i]));
+        b.connect(bValid[i],
+                  b.mux(is_tail, disp_b_valid,
+                        b.orOf(bValid[i], capB[i])));
+        b.connect(bVal[i], b.mux(is_tail, lkB.val,
+                                 b.mux(capB[i], capB_val[i], bVal[i])));
+        b.connect(bTag[i], b.mux(is_tail, lkB.tag, bTag[i]));
+        b.connect(done[i], b.mux(is_tail, b.zero(),
+                                 b.orOf(done[i], done_set[i])));
+        b.connect(result[i],
+                  b.mux(is_tail, b.lit(0, W),
+                        b.mux(done_set[i], result_next[i], result[i])));
+        b.connect(takenR[i],
+                  b.mux(is_tail, b.zero(),
+                        b.orOf(takenR[i], taken_next[i])));
+        b.connect(excR[i], b.mux(is_tail, b.zero(),
+                                 b.orOf(excR[i], exc_set[i])));
+        b.connect(brAtDisp[i],
+                  b.mux(is_tail, branch_pending, brAtDisp[i]));
+        b.connect(memIssued[i],
+                  b.mux(is_tail, b.zero(),
+                        b.orOf(memIssued[i], mem_issued_set[i])));
+    }
+
+    // --- Cache / MSHR next-state --------------------------------------------
+    if (config.hasCache) {
+        Sig start_miss = b.andOf(grant_to_mem, b.notOf(flush));
+        Sig fill = mshr_fill_now;
+        b.connect(mshrActive,
+                  b.mux(flush, b.zero(),
+                        b.mux(start_miss, b.one(),
+                              b.mux(fill, b.zero(), mshrActive))));
+        Sig grant_idx = b.lit(0, idx_bits);
+        for (int i = 0; i < N; ++i)
+            grant_idx = b.mux(grant[i], b.lit(i, idx_bits), grant_idx);
+        b.connect(mshrIdx, b.mux(start_miss, grant_idx, mshrIdx));
+        b.connect(mshrAddr, b.mux(start_miss, grant_addr, mshrAddr));
+        const int miss_extra = config.cacheMissCycles - 2;
+        Sig cd_dec = b.mux(b.eqConst(mshrCd, 0), mshrCd,
+                           b.sub(mshrCd, b.lit(1, cd_bits)));
+        b.connect(mshrCd, b.mux(start_miss, b.lit(miss_extra, cd_bits),
+                                cd_dec));
+
+        // Fill the line on refill; keep it coherent with committed stores.
+        Sig cv_next = b.orOf(cacheValid, fill);
+        Sig ct_next = b.mux(fill, mshrAddr, cacheTag);
+        Sig cdta_next = b.mux(fill, mshr_data, cacheData);
+        if (ic.hasStore) {
+            Sig upd0 = b.andOf(store_commit0,
+                               b.andOf(cacheValid,
+                                       b.eq(cacheTag, slot0.addr)));
+            cdta_next = b.mux(upd0, slot0.bval, cdta_next);
+            if (config.commitWidth == 2) {
+                Sig upd1 = b.andOf(store_commit1,
+                                   b.andOf(cacheValid,
+                                           b.eq(cacheTag, slot1.addr)));
+                cdta_next = b.mux(upd1, slot1.bval, cdta_next);
+            }
+        }
+        b.connect(cacheValid, cv_next);
+        b.connect(cacheTag, ct_next);
+        b.connect(cacheData, cdta_next);
+    }
+
+    // --- PC / pointers -----------------------------------------------------
+    Sig flush_pc = b.mux(slot0.exc, b.lit(0, pc_bits), slot0.target);
+    Sig flush_pc_sel = flush_pc;
+    if (config.commitWidth == 2) {
+        Sig flush1_pc = b.mux(slot1.exc, b.lit(0, pc_bits), slot1.target);
+        flush_pc_sel = b.mux(slot0.flush, flush_pc, flush1_pc);
+    }
+    Sig pc_next = b.mux(flush, flush_pc_sel,
+                        b.mux(dispatching, b.addConst(pc, 1), pc));
+    b.connect(pc, pc_next);
+
+    Sig commits_cnt = b.resize(slot0.commit, cnt_bits);
+    if (config.commitWidth == 2)
+        commits_cnt = b.add(commits_cnt, b.resize(commit1, cnt_bits));
+    Sig head_next = head;
+    head_next = b.mux(slot0.commit, add_mod_n(head, 1), head_next);
+    if (config.commitWidth == 2)
+        head_next = b.mux(commit1, add_mod_n(head, 2), head_next);
+    b.connect(head, head_next);
+
+    Sig count_next =
+        b.sub(b.add(count, b.resize(dispatching, cnt_bits)), commits_cnt);
+    b.connect(count, b.mux(flush, b.lit(0, cnt_bits), count_next));
+
+    // --- Taint-propagation shadow (optional, paper Section 8) ---------------
+    if (config.taint != OoOConfig::Taint::Off) {
+        const bool sandbox = config.taint == OoOConfig::Taint::Sandboxing;
+        const int mem_bits = bitsFor(ic.dmemSize);
+        // A value loaded from the upper (secret) half of data memory is
+        // the taint source; everything derived from it pre-commit stays
+        // tainted. Committed observations are constraint-equalized, so
+        // the corresponding taints clear per contract.
+        auto secret_region = [&](Sig addr) {
+            return b.bit(addr, mem_bits - 1);
+        };
+
+        std::vector<Sig> taintReg;
+        for (int r = 0; r < ic.regCount; ++r)
+            taintReg.push_back(
+                b.reg(rn(".taintReg" + std::to_string(r)), 1, 0));
+        EntryRegs tA = entry_regs("taintA", 1);
+        EntryRegs tB = entry_regs("taintB", 1);
+        EntryRegs tR = entry_regs("taintRes", 1);
+        Sig pcTaint = b.reg(rn(".taintPc"), 1, 0);
+        Sig cacheTaint, mshrTaint;
+        if (config.hasCache) {
+            cacheTaint = b.reg(rn(".taintCache"), 1, 0);
+            mshrTaint = b.reg(rn(".taintMshr"), 1, 0);
+        }
+
+        // Taint seen by a consumer capturing entry i's result now.
+        EntryRegs captureTaint(N);
+        for (int i = 0; i < N; ++i) {
+            Sig cleared = sandbox ? b.andOf(commitsNow[i], eIsLd[i])
+                                  : b.zero();
+            captureTaint[i] = b.andOf(tR[i], b.notOf(cleared));
+        }
+
+        // Dispatch-time operand taint (mirrors rename_lookup).
+        auto lookup_taint = [&](Sig src, Sig uses, Sig uses_tag) {
+            Sig r_busy = readRegFile(b, busy, src);
+            Sig t = readRegFile(b, rtag, src);
+            Sig prod = readEntries(b, captureTaint, t);
+            Sig from_reg = readRegFile(b, taintReg, src);
+            Sig value_taint = b.mux(r_busy, prod, from_reg);
+            return b.andAll({uses, b.notOf(uses_tag), value_taint});
+        };
+        Sig dispTA = lookup_taint(src_a, uses_a, lkA.usesTag);
+        Sig dispTB = lookup_taint(src_b, uses_b, lkB.usesTag);
+        // A tainted pc means the very instruction stream may differ.
+        dispTA = b.orOf(dispTA, pcTaint);
+        dispTB = b.orOf(dispTB, pcTaint);
+
+        for (int i = 0; i < N; ++i) {
+            Sig is_tail = b.andOf(dispatching, b.eqConst(tail, i));
+            Sig capTA = readEntries(b, captureTaint, aTag[i]);
+            Sig capTB = readEntries(b, captureTaint, bTag[i]);
+            b.connect(tA[i], b.mux(is_tail, dispTA,
+                                   b.mux(capA[i], capTA, tA[i])));
+            b.connect(tB[i], b.mux(is_tail, dispTB,
+                                   b.mux(capB[i], capTB, tB[i])));
+
+            // Result taint at completion.
+            Sig alu_taint = b.mux(eIsLi[i], b.zero(),
+                                  b.orOf(tA[i], tB[i]));
+            Sig load_taint = b.orOf(tA[i], secret_region(aVal[i]));
+            if (config.hasCache) {
+                Sig fill = b.andOf(mshr_fill_now, b.eqConst(mshrIdx, i));
+                Sig hit_taint = b.orOf(load_taint, cacheTaint);
+                load_taint = b.mux(fill, b.orOf(tA[i], mshrTaint),
+                                   hit_taint);
+            }
+            Sig res_taint = b.mux(eIsLd[i], load_taint,
+                                  b.mux(eIsBeqz[i], tA[i], alu_taint));
+            b.connect(tR[i], b.mux(is_tail, b.zero(),
+                                   b.mux(done_set[i], res_taint, tR[i])));
+        }
+
+        // Architectural taint at commit: sandboxing observes load data
+        // (clearing its taint); constant-time does not.
+        Sig t0 = readEntries(b, tR, head);
+        Sig clear0 = sandbox ? slot0.isLd : b.zero();
+        for (int r = 0; r < ic.regCount; ++r) {
+            Sig w0 = b.andOf(slot0.writes, b.eqConst(slot0.rd, r));
+            Sig next = b.mux(w0, b.andOf(t0, b.notOf(clear0)),
+                             taintReg[r]);
+            if (config.commitWidth == 2) {
+                Sig t1 = readEntries(b, tR, slot1.idx);
+                Sig clear1 = sandbox ? slot1.isLd : b.zero();
+                Sig w1 = b.andOf(slot1.writes, b.eqConst(slot1.rd, r));
+                next = b.mux(w1, b.andOf(t1, b.notOf(clear1)), next);
+            }
+            b.connect(taintReg[r], next);
+        }
+
+        // Control-flow taint: a committed branch whose condition is
+        // tainted may steer the two copies apart. Constant-time observes
+        // branch conditions (equalizing them), sandboxing does not.
+        Sig cond_taint = readEntries(b, tA, head);
+        Sig br_taints_pc =
+            sandbox ? b.andAll({slot0.commit, slot0.isBr, cond_taint})
+                    : b.zero();
+        b.connect(pcTaint, b.orOf(pcTaint, br_taints_pc));
+
+        if (config.hasCache) {
+            Sig fill = mshr_fill_now;
+            Sig line_taint = secret_region(mshrAddr);
+            b.connect(cacheTaint,
+                      b.mux(fill, b.orOf(mshrTaint, line_taint),
+                            cacheTaint));
+            Sig start_taint = b.lit(0, 1);
+            for (int i = 0; i < N; ++i)
+                start_taint = b.mux(grant[i], tA[i], start_taint);
+            b.connect(mshrTaint,
+                      b.mux(b.andOf(grant_to_mem, b.notOf(flush)),
+                            start_taint, mshrTaint));
+        }
+
+        // Hints for the relational invariant search: untainted values
+        // must match across copies (taint-state equality itself comes
+        // from the automatic twin-register candidates).
+        for (int i = 0; i < N; ++i) {
+            Sig live = valid[i];
+            ifc.fwdHints.push_back(
+                {b.andAll({live, done[i], b.notOf(tR[i])}), result[i]});
+            ifc.fwdHints.push_back(
+                {b.andAll({live, aValid[i], b.notOf(tA[i])}), aVal[i]});
+            ifc.fwdHints.push_back(
+                {b.andAll({live, bValid[i], b.notOf(tB[i])}), bVal[i]});
+        }
+        for (int r = 0; r < ic.regCount; ++r)
+            ifc.fwdHints.push_back({b.notOf(taintReg[r]), regs[r]});
+        ifc.fwdHints.push_back({b.notOf(pcTaint), pc});
+    }
+
+    // --- Observation interfaces ---------------------------------------------
+    auto fill_slot = [&](const SlotWires &s) {
+        CommitSlot cs;
+        cs.valid = s.commit;
+        cs.exception = s.exc;
+        cs.isLoad = b.andOf(s.commit, s.isLd);
+        cs.isStore = b.andOf(s.commit, s.isSt);
+        cs.isBranch = b.andOf(s.commit, s.isBr);
+        cs.isMul = b.andOf(s.commit, s.isMul);
+        cs.writesReg = s.writes;
+        cs.wdata = s.result;
+        cs.addr = s.addr;
+        cs.taken = b.andOf(s.commit, s.taken);
+        cs.opA = s.addr; // operand A value (ALU a / branch cond / address)
+        cs.opB = s.bval;
+        return cs;
+    };
+    ifc.commits.push_back(fill_slot(slot0));
+    if (config.commitWidth == 2)
+        ifc.commits.push_back(fill_slot(slot1));
+
+    Sig bus_valid = b.orOf(grant_to_mem, store_on_bus);
+    Sig bus_addr = grant_addr;
+    bus_addr = b.mux(store_commit0, slot0.addr, bus_addr);
+    if (config.commitWidth == 2)
+        bus_addr = b.mux(store_commit1, slot1.addr, bus_addr);
+    ifc.memBusValid = b.named(bus_valid, rn(".busValid"));
+    ifc.memBusAddr = b.named(bus_addr, rn(".busAddr"));
+
+    for (int i = 0; i < N; ++i) {
+        ifc.robValid.push_back(valid[i]);
+        ifc.robException.push_back(b.andOf(valid[i], excR[i]));
+        // Structural relational hints (see CoreIfc::FwdHint): forwardable
+        // completed results, captured operands, resolved branch outcomes.
+        Sig live_done = b.andOf(valid[i], done[i]);
+        ifc.fwdHints.push_back({b.andOf(live_done, fwdOk[i]), result[i]});
+        ifc.fwdHints.push_back({b.andOf(valid[i], aValid[i]), aVal[i]});
+        ifc.fwdHints.push_back({b.andOf(valid[i], bValid[i]), bVal[i]});
+        ifc.fwdHints.push_back({b.andOf(live_done, eIsBeqz[i]),
+                                takenR[i]});
+        ifc.fwdHints.push_back({live_done, excR[i]});
+
+        // Structural invariants (see CoreIfc): an entry is valid exactly
+        // when it lies inside the head/count window, and pending operand
+        // tags point at valid producers.
+        const int cmp_w = (idx_bits + 1 > cnt_bits ? idx_bits + 1
+                                                   : cnt_bits);
+        Sig in_window = b.ult(b.resize(age[i], cmp_w),
+                              b.resize(count, cmp_w));
+        ifc.structuralInvariants.push_back(b.eq(valid[i], in_window));
+        // Pending operands point at valid, strictly older producers (a
+        // waiting consumer can otherwise deadlock in garbage states and
+        // defeat the bounded-drain argument induction relies on).
+        Sig a_tag_age = readEntries(b, age, aTag[i]);
+        Sig b_tag_age = readEntries(b, age, bTag[i]);
+        ifc.structuralInvariants.push_back(
+            b.implies(b.andOf(valid[i], b.notOf(aValid[i])),
+                      b.andOf(readEntries(b, valid, aTag[i]),
+                              b.ult(a_tag_age, age[i]))));
+        ifc.structuralInvariants.push_back(
+            b.implies(b.andOf(valid[i], b.notOf(bValid[i])),
+                      b.andOf(readEntries(b, valid, bTag[i]),
+                              b.ult(b_tag_age, age[i]))));
+        if (!ic.trapOnMisaligned && !ic.trapOnOutOfRange) {
+            // Without trap features the exception flag can never be set;
+            // ruling out ghost exceptions keeps trap-masked commits (whose
+            // data the contract does not observe) out of the induction.
+            ifc.structuralInvariants.push_back(b.notOf(excR[i]));
+        }
+        // brAtDisp consistency: an entry dispatched with no branch ahead
+        // really has no older in-flight branch, so it is bound to commit
+        // (spectre-variant defenses and the induction argument rely on
+        // this to know the contract check will eventually examine it).
+        {
+            std::vector<Sig> older_branch;
+            for (int j = 0; j < N; ++j) {
+                if (j == i)
+                    continue;
+                Sig older = b.ult(b.resize(age[j], idx_bits + 1),
+                                  b.resize(age[i], idx_bits + 1));
+                older_branch.push_back(
+                    b.andAll({valid[j], eIsBeqz[j], older}));
+            }
+            ifc.structuralInvariants.push_back(
+                b.implies(b.andOf(valid[i], b.notOf(brAtDisp[i])),
+                          b.notOf(b.orAll(older_branch))));
+        }
+        Sig is_mem = b.orOf(eIsLd[i], eIsSt[i]);
+        Sig mem_live = b.andAll({valid[i], is_mem, aValid[i]});
+        if (ic.trapOnMisaligned)
+            ifc.robMisaligned.push_back(
+                b.andOf(mem_live, b.bit(aVal[i], 0)));
+        if (ic.trapOnOutOfRange) {
+            int mem_bits = bitsFor(ic.dmemSize);
+            if (W > mem_bits) {
+                Sig high = b.slice(aVal[i], mem_bits, W - mem_bits);
+                ifc.robOutOfRange.push_back(
+                    b.andOf(mem_live, b.redOr(high)));
+            }
+        }
+    }
+
+    // Whole-core structural invariants: pointer bounds, rename-table
+    // validity, MSHR consistency.
+    ifc.structuralInvariants.push_back(
+        b.ule(count, b.lit(N, cnt_bits)));
+    if (N < (1 << idx_bits))
+        ifc.structuralInvariants.push_back(
+            b.ult(head, b.lit(N, idx_bits)));
+    for (int r = 0; r < ic.regCount; ++r)
+        ifc.structuralInvariants.push_back(
+            b.implies(busy[r], readEntries(b, valid, rtag[r])));
+    if (config.hasCache)
+        ifc.structuralInvariants.push_back(
+            b.implies(mshrActive, readEntries(b, valid, mshrIdx)));
+    return ifc;
+}
+
+} // namespace csl::proc

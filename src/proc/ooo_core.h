@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The parameterized out-of-order core generator.
+ *
+ * One generator covers the paper's three OoO targets:
+ *  - simpleOoO: the paper's in-house minimal OoO core (4 instructions,
+ *    4-entry ROB, 1 commit/cycle) with any of the five defenses;
+ *  - rideLite: a 2-wide-commit superscalar with MUL (the Ridecore
+ *    analog, exercising the superscalar shadow alignment);
+ *  - boomLike: a larger-ROB core with MUL, STORE and *exception*
+ *    speculation sources (misaligned / out-of-range loads), the BOOM
+ *    analog for the Section 7.1.4 experiments.
+ *
+ * Microarchitecture (documented in DESIGN.md):
+ *  - fetch+dispatch 1 instr/cycle into a circular ROB that doubles as the
+ *    reservation stations (Tomasulo-lite with a rename table over the
+ *    architectural registers);
+ *  - branches predicted not-taken; mispredictions and exceptions resolve
+ *    at commit, squashing the whole ROB and redirecting fetch - the
+ *    transient window between dispatch and commit is where speculative
+ *    loads leak;
+ *  - loads arbitrate for a single memory bus, oldest first; an optional
+ *    single-entry L1 (1-cycle hit / 3-cycle miss) provides the
+ *    Delay-on-Miss timing channel;
+ *  - defenses gate load issue and/or load-result forwarding per
+ *    src/defense/defense.h.
+ */
+
+#ifndef CSL_PROC_OOO_CORE_H_
+#define CSL_PROC_OOO_CORE_H_
+
+#include <string>
+
+#include "defense/defense.h"
+#include "isa/isa.h"
+#include "proc/core_ifc.h"
+#include "rtl/builder.h"
+
+namespace csl::proc {
+
+/** Out-of-order core parameters. */
+struct OoOConfig
+{
+    isa::IsaConfig isa;
+    int robSize = 4;
+    int commitWidth = 1; ///< 1 or 2
+    defense::Defense defense = defense::Defense::None;
+    /** Single-entry L1 cache with differential hit/miss latency. */
+    bool hasCache = false;
+    /** Total load latency on a cache miss (hit is 1 cycle). */
+    int cacheMissCycles = 3;
+    /**
+     * Architectural registers start symbolic (constrained equal across
+     * copies by the schemes). Matches the paper's "same initial state".
+     */
+    bool symbolicRegInit = true;
+
+    /**
+     * Optional taint-propagation shadow instrumentation (the paper's
+     * Section 8 future-work direction, GLIFT-style). Adds monitor-only
+     * taint bits tracking which values *may* depend on the secret
+     * memory region, and emits `untainted -> equal across copies` hints
+     * for the relational invariant search. Never alters architectural
+     * behaviour (tandem-checked).
+     */
+    enum class Taint { Off, Sandboxing, ConstantTime };
+    Taint taint = Taint::Off;
+
+    void check() const;
+};
+
+/** Instantiate an OoO core. Respects any clock gate active on @p b. */
+CoreIfc buildOoOCore(rtl::Builder &b, const OoOConfig &config,
+                     const std::string &prefix);
+
+} // namespace csl::proc
+
+#endif // CSL_PROC_OOO_CORE_H_

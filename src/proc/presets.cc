@@ -1,0 +1,129 @@
+#include "proc/presets.h"
+
+#include "base/logging.h"
+#include "proc/inorder_core.h"
+#include "proc/isa_machine.h"
+
+namespace csl::proc {
+
+const char *
+coreKindName(CoreKind kind)
+{
+    switch (kind) {
+      case CoreKind::IsaSingleCycle: return "IsaSingleCycle";
+      case CoreKind::InOrder: return "InOrder";
+      case CoreKind::SimpleOoO: return "SimpleOoO";
+      case CoreKind::RideLite: return "RideLite";
+      case CoreKind::BoomLike: return "BoomLike";
+    }
+    return "?";
+}
+
+OoOConfig
+simpleOoOConfig(defense::Defense defense)
+{
+    OoOConfig config;
+    config.isa = isa::IsaConfig{};
+    config.robSize = 4;
+    config.commitWidth = 1;
+    config.defense = defense;
+    config.hasCache = defense == defense::Defense::DoMSpectre;
+    if (config.hasCache) {
+        // The paper's DoM experiments need more concurrent instructions
+        // ("using an 8-entry ROB instead of the default 4-entry ROB").
+        config.robSize = 8;
+    }
+    return config;
+}
+
+OoOConfig
+rideLiteConfig(defense::Defense defense)
+{
+    OoOConfig config;
+    config.isa = isa::IsaConfig{};
+    config.isa.hasMul = true;
+    config.robSize = 4;
+    config.commitWidth = 2;
+    config.defense = defense;
+    return config;
+}
+
+OoOConfig
+boomLikeConfig(defense::Defense defense)
+{
+    OoOConfig config;
+    config.isa = isa::IsaConfig{};
+    config.isa.hasMul = true;
+    config.isa.hasStore = true;
+    config.isa.trapOnMisaligned = true;
+    config.isa.trapOnOutOfRange = true;
+    config.isa.dataWidth = 4;
+    config.isa.dmemSize = 4; // addresses 4..15 trap as illegal
+    config.robSize = 8;
+    config.commitWidth = 1;
+    config.defense = defense;
+    return config;
+}
+
+CoreSpec
+isaMachineSpec()
+{
+    CoreSpec spec;
+    spec.kind = CoreKind::IsaSingleCycle;
+    spec.ooo = simpleOoOConfig();
+    return spec;
+}
+
+CoreSpec
+inOrderSpec()
+{
+    CoreSpec spec;
+    spec.kind = CoreKind::InOrder;
+    spec.ooo = simpleOoOConfig();
+    return spec;
+}
+
+CoreSpec
+simpleOoOSpec(defense::Defense defense)
+{
+    CoreSpec spec;
+    spec.kind = CoreKind::SimpleOoO;
+    spec.ooo = simpleOoOConfig(defense);
+    return spec;
+}
+
+CoreSpec
+rideLiteSpec(defense::Defense defense)
+{
+    CoreSpec spec;
+    spec.kind = CoreKind::RideLite;
+    spec.ooo = rideLiteConfig(defense);
+    return spec;
+}
+
+CoreSpec
+boomLikeSpec(defense::Defense defense)
+{
+    CoreSpec spec;
+    spec.kind = CoreKind::BoomLike;
+    spec.ooo = boomLikeConfig(defense);
+    return spec;
+}
+
+CoreIfc
+buildCore(rtl::Builder &b, const CoreSpec &spec, const std::string &prefix)
+{
+    switch (spec.kind) {
+      case CoreKind::IsaSingleCycle:
+        return buildIsaMachine(b, spec.ooo.isa, prefix);
+      case CoreKind::InOrder:
+        return buildInOrderCore(b, spec.ooo.isa, prefix);
+      case CoreKind::SimpleOoO:
+      case CoreKind::RideLite:
+      case CoreKind::BoomLike:
+        return buildOoOCore(b, spec.ooo, prefix);
+    }
+    csl_panic("unknown core kind");
+}
+
+} // namespace csl::proc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Named processor presets mirroring the paper's Table 1 targets, plus a
+ * uniform handle for instantiating any core by kind.
+ */
+
+#ifndef CSL_PROC_PRESETS_H_
+#define CSL_PROC_PRESETS_H_
+
+#include <string>
+
+#include "defense/defense.h"
+#include "proc/core_ifc.h"
+#include "proc/ooo_core.h"
+#include "rtl/builder.h"
+
+namespace csl::proc {
+
+/** Which processor to instantiate. */
+enum class CoreKind {
+    IsaSingleCycle, ///< the baseline scheme's ISA machine
+    InOrder,        ///< 2-stage in-order pipeline (Sodor analog)
+    SimpleOoO,      ///< minimal OoO, 4-entry ROB, 1 commit/cycle
+    RideLite,       ///< 2-wide-commit superscalar + MUL (Ridecore analog)
+    BoomLike,       ///< 8-entry ROB + MUL/ST + exception sources (BOOM)
+};
+
+const char *coreKindName(CoreKind kind);
+
+/** The paper's SimpleOoO (Table 1) with a selectable defense. */
+OoOConfig simpleOoOConfig(
+    defense::Defense defense = defense::Defense::None);
+
+/** 2-wide superscalar with MUL (Ridecore analog). */
+OoOConfig rideLiteConfig(
+    defense::Defense defense = defense::Defense::None);
+
+/** BOOM analog: larger ROB, MUL + STORE, misalignment and illegal-access
+ * exceptions as additional speculation sources. */
+OoOConfig boomLikeConfig(
+    defense::Defense defense = defense::Defense::None);
+
+/** A core specification: kind + (for OoO kinds) its full configuration. */
+struct CoreSpec
+{
+    CoreKind kind = CoreKind::SimpleOoO;
+    OoOConfig ooo = simpleOoOConfig();
+
+    /** The ISA parameters in effect for this spec. */
+    const isa::IsaConfig &isaConfig() const { return ooo.isa; }
+};
+
+/** Pre-populated specs for the five evaluation targets. */
+CoreSpec isaMachineSpec();
+CoreSpec inOrderSpec();
+CoreSpec simpleOoOSpec(defense::Defense defense = defense::Defense::None);
+CoreSpec rideLiteSpec(defense::Defense defense = defense::Defense::None);
+CoreSpec boomLikeSpec(defense::Defense defense = defense::Defense::None);
+
+/** Instantiate @p spec under @p b. */
+CoreIfc buildCore(rtl::Builder &b, const CoreSpec &spec,
+                  const std::string &prefix);
+
+} // namespace csl::proc
+
+#endif // CSL_PROC_PRESETS_H_

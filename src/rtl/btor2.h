@@ -1,0 +1,33 @@
+/**
+ * @file
+ * BTOR2 export of Circuits.
+ *
+ * BTOR2 is the word-level model-checking interchange format consumed by
+ * open-source checkers (btormc, AVR, Pono). Exporting our verification
+ * circuits lets results be cross-checked against independent engines -
+ * the open-tool analog of the paper running JasperGold.
+ *
+ * Mapping: registers become `state` with `init`/`next`; inputs become
+ * `input`; constraints become `constraint`; bads become `bad`. Init
+ * constraints have no direct BTOR2 equivalent and are encoded via an
+ * `initialized` flag state: `constraint (initialized | initConstraint)`
+ * would be unsound, so instead each init constraint C becomes
+ * `constraint (C | not first)` with `first` a state that starts 1 and
+ * stays 0 - i.e. C is enforced exactly in the first frame.
+ */
+
+#ifndef CSL_RTL_BTOR2_H_
+#define CSL_RTL_BTOR2_H_
+
+#include <iosfwd>
+
+#include "rtl/circuit.h"
+
+namespace csl::rtl {
+
+/** Serialize @p circuit as BTOR2 to @p os. */
+void exportBtor2(const Circuit &circuit, std::ostream &os);
+
+} // namespace csl::rtl
+
+#endif // CSL_RTL_BTOR2_H_

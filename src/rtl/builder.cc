@@ -1,0 +1,563 @@
+#include "rtl/builder.h"
+
+#include <algorithm>
+
+#include "base/bits.h"
+#include "base/logging.h"
+
+namespace csl::rtl {
+
+// ---------------------------------------------------------------------------
+// MemArray
+
+Sig
+MemArray::read(Sig addr) const
+{
+    csl_assert(builder_ && !words_.empty(), "read from unbuilt memory");
+    Builder &b = *builder_;
+    if (addrBits_ == 0)
+        return words_[0];
+    csl_assert(addr.width >= addrBits_,
+               "memory address too narrow: ", addr.width, " < ", addrBits_);
+    Sig index = b.slice(addr, 0, addrBits_);
+    // Balanced mux tree over the words, selected by address bits.
+    std::vector<Sig> level(words_.begin(), words_.end());
+    for (int bit_idx = 0; bit_idx < addrBits_; ++bit_idx) {
+        Sig sel = b.bit(index, bit_idx);
+        std::vector<Sig> next;
+        next.reserve((level.size() + 1) / 2);
+        for (size_t i = 0; i < level.size(); i += 2)
+            next.push_back(b.mux(sel, level[i + 1], level[i]));
+        level.swap(next);
+    }
+    csl_assert(level.size() == 1, "mux tree reduction failed");
+    return level[0];
+}
+
+void
+MemArray::write(Sig enable, Sig addr, Sig data)
+{
+    csl_assert(!sealed_, "write port added after seal");
+    Builder &b = *builder_;
+    csl_assert(data.width == width_, "memory write data width mismatch");
+    // Fold the active clock gate into the enable here, so sealing can use
+    // raw register connections.
+    Sig gated = enable;
+    for (Sig g : b.gateStack_)
+        gated = b.andOf(gated, g);
+    Sig index = addrBits_ == 0 ? Sig{} : b.slice(addr, 0, addrBits_);
+    writes_.push_back({gated, index, data});
+}
+
+Sig
+MemArray::word(size_t index) const
+{
+    csl_assert(index < words_.size(), "memory word index out of range");
+    return words_[index];
+}
+
+void
+MemArray::seal()
+{
+    if (sealed_)
+        return;
+    sealed_ = true;
+    Builder &b = *builder_;
+    for (size_t i = 0; i < words_.size(); ++i) {
+        Sig next = words_[i];
+        for (const WritePort &port : writes_) {
+            Sig hit = port.addr.valid()
+                ? b.andOf(port.enable, b.eqConst(port.addr, uint64_t(i)))
+                : port.enable;
+            next = b.mux(hit, port.data, next);
+        }
+        // Bypass the gate stack: gates were folded into write enables.
+        b.circuit_.connectReg(words_[i].id, next.id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder: leaves
+
+uint64_t
+Builder::maskValue(int width)
+{
+    return maskBits(width);
+}
+
+size_t
+Builder::OpKeyHash::operator()(const OpKey &k) const
+{
+    size_t h = static_cast<size_t>(k.op);
+    auto mix = [&h](uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    mix(k.width);
+    mix(static_cast<uint64_t>(k.a));
+    mix(static_cast<uint64_t>(k.b));
+    mix(static_cast<uint64_t>(k.c));
+    mix(k.imm);
+    return h;
+}
+
+Sig
+Builder::lit(uint64_t value, int width)
+{
+    value = truncBits(value, width);
+    OpKey key{Op::Const, width, kNoNet, kNoNet, kNoNet, value};
+    auto it = cse_.find(key);
+    if (it != cse_.end())
+        return {it->second, width};
+    Net n;
+    n.op = Op::Const;
+    n.width = static_cast<uint8_t>(width);
+    n.imm = value;
+    NetId id = circuit_.addNet(n);
+    cse_.emplace(key, id);
+    return {id, width};
+}
+
+Sig
+Builder::input(const std::string &name, int width)
+{
+    Net n;
+    n.op = Op::Input;
+    n.width = static_cast<uint8_t>(width);
+    NetId id = circuit_.addNet(n);
+    if (!name.empty())
+        circuit_.setName(id, name);
+    return {id, width};
+}
+
+Sig
+Builder::reg(const std::string &name, int width, uint64_t init)
+{
+    Net n;
+    n.op = Op::Reg;
+    n.width = static_cast<uint8_t>(width);
+    n.imm = truncBits(init, width);
+    NetId id = circuit_.addNet(n);
+    if (!name.empty())
+        circuit_.setName(id, name);
+    return {id, width};
+}
+
+Sig
+Builder::symbolicReg(const std::string &name, int width)
+{
+    Net n;
+    n.op = Op::Reg;
+    n.width = static_cast<uint8_t>(width);
+    n.symbolicInit = true;
+    NetId id = circuit_.addNet(n);
+    if (!name.empty())
+        circuit_.setName(id, name);
+    return {id, width};
+}
+
+void
+Builder::connect(Sig reg_sig, Sig next)
+{
+    Sig effective = next;
+    for (Sig g : gateStack_)
+        effective = mux(g, effective, reg_sig);
+    circuit_.connectReg(reg_sig.id, effective.id);
+}
+
+void
+Builder::pushClockGate(Sig enable)
+{
+    csl_assert(enable.width == 1, "clock gate must be 1 bit");
+    gateStack_.push_back(enable);
+}
+
+void
+Builder::popClockGate()
+{
+    csl_assert(!gateStack_.empty(), "clock gate stack underflow");
+    gateStack_.pop_back();
+}
+
+// ---------------------------------------------------------------------------
+// Builder: operators with folding and hash-consing
+
+bool
+Builder::constValue(Sig s, uint64_t &out) const
+{
+    const Net &n = circuit_.net(s.id);
+    if (n.op != Op::Const)
+        return false;
+    out = n.imm;
+    return true;
+}
+
+Sig
+Builder::makeOp(Op op, int width, Sig a, Sig b, Sig c, uint64_t imm)
+{
+    OpKey key{op, width, a.id, b.valid() ? b.id : kNoNet,
+              c.valid() ? c.id : kNoNet, imm};
+    auto it = cse_.find(key);
+    if (it != cse_.end())
+        return {it->second, width};
+    Net n;
+    n.op = op;
+    n.width = static_cast<uint8_t>(width);
+    n.a = a.id;
+    n.b = b.valid() ? b.id : kNoNet;
+    n.c = c.valid() ? c.id : kNoNet;
+    n.imm = imm;
+    NetId id = circuit_.addNet(n);
+    cse_.emplace(key, id);
+    return {id, width};
+}
+
+Sig
+Builder::notOf(Sig a)
+{
+    uint64_t va;
+    if (constValue(a, va))
+        return lit(~va, a.width);
+    // not(not(x)) -> x
+    const Net &n = circuit_.net(a.id);
+    if (n.op == Op::Not)
+        return {n.a, a.width};
+    return makeOp(Op::Not, a.width, a);
+}
+
+Sig
+Builder::andOf(Sig a, Sig b)
+{
+    csl_assert(a.width == b.width, "and width mismatch");
+    uint64_t va, vb;
+    bool ca = constValue(a, va), cb = constValue(b, vb);
+    if (ca && cb)
+        return lit(va & vb, a.width);
+    if (ca)
+        std::swap(a, b), std::swap(va, vb), std::swap(ca, cb);
+    if (cb) {
+        if (vb == 0)
+            return lit(0, a.width);
+        if (vb == maskValue(a.width))
+            return a;
+    }
+    if (a.id == b.id)
+        return a;
+    if (a.id > b.id)
+        std::swap(a, b);
+    return makeOp(Op::And, a.width, a, b);
+}
+
+Sig
+Builder::orOf(Sig a, Sig b)
+{
+    csl_assert(a.width == b.width, "or width mismatch");
+    uint64_t va, vb;
+    bool ca = constValue(a, va), cb = constValue(b, vb);
+    if (ca && cb)
+        return lit(va | vb, a.width);
+    if (ca)
+        std::swap(a, b), std::swap(va, vb), std::swap(ca, cb);
+    if (cb) {
+        if (vb == 0)
+            return a;
+        if (vb == maskValue(a.width))
+            return lit(maskValue(a.width), a.width);
+    }
+    if (a.id == b.id)
+        return a;
+    if (a.id > b.id)
+        std::swap(a, b);
+    return makeOp(Op::Or, a.width, a, b);
+}
+
+Sig
+Builder::xorOf(Sig a, Sig b)
+{
+    csl_assert(a.width == b.width, "xor width mismatch");
+    uint64_t va, vb;
+    bool ca = constValue(a, va), cb = constValue(b, vb);
+    if (ca && cb)
+        return lit(va ^ vb, a.width);
+    if (ca)
+        std::swap(a, b), std::swap(va, vb), std::swap(ca, cb);
+    if (cb) {
+        if (vb == 0)
+            return a;
+        if (vb == maskValue(a.width))
+            return notOf(a);
+    }
+    if (a.id == b.id)
+        return lit(0, a.width);
+    if (a.id > b.id)
+        std::swap(a, b);
+    return makeOp(Op::Xor, a.width, a, b);
+}
+
+Sig
+Builder::mux(Sig sel, Sig then_v, Sig else_v)
+{
+    csl_assert(sel.width == 1, "mux select must be 1 bit");
+    csl_assert(then_v.width == else_v.width, "mux arm width mismatch");
+    uint64_t vs;
+    if (constValue(sel, vs))
+        return vs ? then_v : else_v;
+    if (then_v.id == else_v.id)
+        return then_v;
+    // Boolean special cases keep CNF small for 1-bit muxes.
+    if (then_v.width == 1) {
+        uint64_t vt, ve;
+        bool ct = constValue(then_v, vt), ce = constValue(else_v, ve);
+        if (ct && ce)
+            return vt ? (ve ? one() : sel) : (ve ? notOf(sel) : zero());
+        if (ct)
+            return vt ? orOf(sel, else_v) : andOf(notOf(sel), else_v);
+        if (ce)
+            return ve ? orOf(notOf(sel), then_v) : andOf(sel, then_v);
+    }
+    return makeOp(Op::Mux, then_v.width, sel, then_v, else_v);
+}
+
+Sig
+Builder::add(Sig a, Sig b)
+{
+    csl_assert(a.width == b.width, "add width mismatch");
+    uint64_t va, vb;
+    bool ca = constValue(a, va), cb = constValue(b, vb);
+    if (ca && cb)
+        return lit(va + vb, a.width);
+    if (ca)
+        std::swap(a, b), std::swap(va, vb), std::swap(ca, cb);
+    if (cb && vb == 0)
+        return a;
+    if (a.id > b.id)
+        std::swap(a, b);
+    return makeOp(Op::Add, a.width, a, b);
+}
+
+Sig
+Builder::sub(Sig a, Sig b)
+{
+    csl_assert(a.width == b.width, "sub width mismatch");
+    uint64_t va, vb;
+    if (constValue(a, va) && constValue(b, vb))
+        return lit(va - vb, a.width);
+    if (constValue(b, vb) && vb == 0)
+        return a;
+    if (a.id == b.id)
+        return lit(0, a.width);
+    return makeOp(Op::Sub, a.width, a, b);
+}
+
+Sig
+Builder::mul(Sig a, Sig b)
+{
+    csl_assert(a.width == b.width, "mul width mismatch");
+    uint64_t va, vb;
+    bool ca = constValue(a, va), cb = constValue(b, vb);
+    if (ca && cb)
+        return lit(va * vb, a.width);
+    if (ca)
+        std::swap(a, b), std::swap(va, vb), std::swap(ca, cb);
+    if (cb) {
+        if (vb == 0)
+            return lit(0, a.width);
+        if (vb == 1)
+            return a;
+    }
+    if (a.id > b.id)
+        std::swap(a, b);
+    return makeOp(Op::Mul, a.width, a, b);
+}
+
+Sig
+Builder::eq(Sig a, Sig b)
+{
+    csl_assert(a.width == b.width, "eq width mismatch");
+    uint64_t va, vb;
+    if (constValue(a, va) && constValue(b, vb))
+        return lit(va == vb, 1);
+    if (a.id == b.id)
+        return one();
+    if (a.width == 1) {
+        // eq over booleans is xnor.
+        return notOf(xorOf(a, b));
+    }
+    if (a.id > b.id)
+        std::swap(a, b);
+    return makeOp(Op::Eq, 1, a, b);
+}
+
+Sig
+Builder::ne(Sig a, Sig b)
+{
+    return notOf(eq(a, b));
+}
+
+Sig
+Builder::ult(Sig a, Sig b)
+{
+    csl_assert(a.width == b.width, "ult width mismatch");
+    uint64_t va, vb;
+    if (constValue(a, va) && constValue(b, vb))
+        return lit(va < vb, 1);
+    if (a.id == b.id)
+        return zero();
+    if (constValue(b, vb) && vb == 0)
+        return zero();
+    return makeOp(Op::Ult, 1, a, b);
+}
+
+Sig
+Builder::ule(Sig a, Sig b)
+{
+    return notOf(ult(b, a));
+}
+
+Sig
+Builder::concat(Sig hi, Sig lo)
+{
+    csl_assert(hi.width + lo.width <= kMaxNetWidth, "concat too wide");
+    uint64_t vh, vl;
+    if (constValue(hi, vh) && constValue(lo, vl))
+        return lit((vh << lo.width) | vl, hi.width + lo.width);
+    return makeOp(Op::Concat, hi.width + lo.width, hi, lo);
+}
+
+Sig
+Builder::slice(Sig a, int lo, int width)
+{
+    csl_assert(lo >= 0 && width >= 1 && lo + width <= a.width,
+               "slice out of range");
+    if (lo == 0 && width == a.width)
+        return a;
+    uint64_t va;
+    if (constValue(a, va))
+        return lit(va >> lo, width);
+    // slice(concat(hi, lo_part)) that falls entirely in one part.
+    const Net &n = circuit_.net(a.id);
+    if (n.op == Op::Concat) {
+        int lo_width = circuit_.net(n.b).width;
+        if (lo + width <= lo_width)
+            return slice({n.b, lo_width}, lo, width);
+        if (lo >= lo_width)
+            return slice({n.a, circuit_.net(n.a).width}, lo - lo_width,
+                         width);
+    }
+    if (n.op == Op::Slice)
+        return slice({n.a, circuit_.net(n.a).width},
+                     lo + static_cast<int>(n.imm), width);
+    return makeOp(Op::Slice, width, a, {}, {}, static_cast<uint64_t>(lo));
+}
+
+Sig
+Builder::resize(Sig a, int width)
+{
+    if (width == a.width)
+        return a;
+    if (width < a.width)
+        return slice(a, 0, width);
+    return concat(lit(0, width - a.width), a);
+}
+
+Sig
+Builder::incMod(Sig a, uint64_t modulus)
+{
+    csl_assert(modulus >= 1 && modulus <= (1ull << a.width),
+               "incMod modulus out of range");
+    Sig inc = addConst(a, 1);
+    if (modulus == (1ull << a.width))
+        return inc;
+    return mux(eqConst(a, modulus - 1), lit(0, a.width), inc);
+}
+
+Sig
+Builder::andAll(const std::vector<Sig> &sigs)
+{
+    if (sigs.empty())
+        return one();
+    Sig acc = sigs[0];
+    for (size_t i = 1; i < sigs.size(); ++i)
+        acc = andOf(acc, sigs[i]);
+    return acc;
+}
+
+Sig
+Builder::orAll(const std::vector<Sig> &sigs)
+{
+    if (sigs.empty())
+        return zero();
+    Sig acc = sigs[0];
+    for (size_t i = 1; i < sigs.size(); ++i)
+        acc = orOf(acc, sigs[i]);
+    return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Memories and properties
+
+MemArray &
+Builder::memory(const std::string &name, size_t depth, int width,
+                bool symbolic_init)
+{
+    csl_assert(isPowerOfTwo(depth), "memory depth must be a power of two");
+    auto mem = std::make_unique<MemArray>();
+    mem->builder_ = this;
+    mem->width_ = width;
+    mem->addrBits_ = 0;
+    while ((size_t(1) << mem->addrBits_) < depth)
+        ++mem->addrBits_;
+    mem->words_.reserve(depth);
+    for (size_t i = 0; i < depth; ++i) {
+        std::string wname = name + "[" + std::to_string(i) + "]";
+        mem->words_.push_back(symbolic_init ? symbolicReg(wname, width)
+                                            : reg(wname, width, 0));
+    }
+    memories_.push_back(std::move(mem));
+    return *memories_.back();
+}
+
+void
+Builder::assume(Sig cond, const std::string &name)
+{
+    csl_assert(cond.width == 1, "assumption must be 1 bit");
+    if (!name.empty())
+        circuit_.setName(cond.id, name);
+    circuit_.addConstraint(cond.id);
+}
+
+void
+Builder::assumeInit(Sig cond, const std::string &name)
+{
+    csl_assert(cond.width == 1, "init assumption must be 1 bit");
+    if (!name.empty())
+        circuit_.setName(cond.id, name);
+    circuit_.addInitConstraint(cond.id);
+}
+
+Sig
+Builder::assertAlways(Sig cond, const std::string &name)
+{
+    csl_assert(cond.width == 1, "assertion must be 1 bit");
+    Sig bad = notOf(cond);
+    if (!name.empty())
+        circuit_.setName(bad.id, name);
+    circuit_.addBad(bad.id);
+    return bad;
+}
+
+Sig
+Builder::named(Sig sig, const std::string &name)
+{
+    circuit_.setName(sig.id, name);
+    return sig;
+}
+
+void
+Builder::finish()
+{
+    for (auto &mem : memories_)
+        mem->seal();
+    circuit_.finalize();
+}
+
+} // namespace csl::rtl

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * An embedded DSL for constructing Circuits.
+ *
+ * The Builder provides the role Verilog plays in the paper: processors,
+ * defenses and the contract shadow logic are all written against it. It
+ * performs light constant folding and structural hash-consing on the fly,
+ * lowers memories to per-word registers, and supports register clock
+ * gating - the primitive the shadow logic's `pause` signal relies on
+ * (Listing 1 of the paper gates `clk` of each cpu instance; we gate every
+ * register's next-state mux, which is the synthesizable equivalent).
+ */
+
+#ifndef CSL_RTL_BUILDER_H_
+#define CSL_RTL_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtl/circuit.h"
+
+namespace csl::rtl {
+
+class Builder;
+
+/** A lightweight handle to a net: id + width. */
+struct Sig
+{
+    NetId id = kNoNet;
+    int width = 0;
+
+    bool valid() const { return id != kNoNet; }
+};
+
+/**
+ * A memory lowered to registers. Reads are combinational mux trees;
+ * writes from all ports are merged into each word's next-state logic when
+ * the Builder seals the memory (automatically at finish()).
+ */
+class MemArray
+{
+  public:
+    /** Combinational read at @p addr (addresses wrap modulo depth). */
+    Sig read(Sig addr) const;
+
+    /** Register a synchronous write port. */
+    void write(Sig enable, Sig addr, Sig data);
+
+    /** Direct handle to word @p index (for initial-state constraints). */
+    Sig word(size_t index) const;
+
+    size_t depth() const { return words_.size(); }
+    int width() const { return width_; }
+
+  private:
+    friend class Builder;
+    Builder *builder_ = nullptr;
+    std::vector<Sig> words_;
+    int width_ = 0;
+    int addrBits_ = 0;
+    bool sealed_ = false;
+
+    struct WritePort
+    {
+        Sig enable;
+        Sig addr;
+        Sig data;
+    };
+    std::vector<WritePort> writes_;
+
+    void seal();
+};
+
+/** Builder for one Circuit. */
+class Builder
+{
+  public:
+    explicit Builder(Circuit &circuit) : circuit_(circuit) {}
+
+    Circuit &circuit() { return circuit_; }
+
+    // --- Leaf nets -----------------------------------------------------
+
+    /** Constant @p value of @p width bits. */
+    Sig lit(uint64_t value, int width);
+
+    /** 1-bit constants. */
+    Sig one() { return lit(1, 1); }
+    Sig zero() { return lit(0, 1); }
+
+    /** Free primary input (fresh nondeterministic value every cycle). */
+    Sig input(const std::string &name, int width);
+
+    /** Register with a concrete reset value. */
+    Sig reg(const std::string &name, int width, uint64_t init = 0);
+
+    /** Register whose initial value is symbolic (constrained via assume). */
+    Sig symbolicReg(const std::string &name, int width);
+
+    /**
+     * Connect a register's next-state logic. If a clock gate is active
+     * (see pushClockGate), the connection becomes
+     * `next = gate ? logic : current`.
+     */
+    void connect(Sig reg, Sig next);
+
+    // --- Clock gating ---------------------------------------------------
+
+    /**
+     * All registers *connected* while a gate is pushed hold their value
+     * whenever @p enable is 0. Gates nest (enables AND together).
+     */
+    void pushClockGate(Sig enable);
+    void popClockGate();
+
+    // --- Combinational operators ----------------------------------------
+
+    Sig notOf(Sig a);
+    Sig andOf(Sig a, Sig b);
+    Sig orOf(Sig a, Sig b);
+    Sig xorOf(Sig a, Sig b);
+    Sig mux(Sig sel, Sig then_v, Sig else_v);
+    Sig add(Sig a, Sig b);
+    Sig sub(Sig a, Sig b);
+    Sig mul(Sig a, Sig b);
+    Sig eq(Sig a, Sig b);
+    Sig ne(Sig a, Sig b);
+    Sig ult(Sig a, Sig b);
+    Sig ule(Sig a, Sig b);
+    Sig concat(Sig hi, Sig lo);
+    Sig slice(Sig a, int lo, int width);
+
+    // --- Derived helpers --------------------------------------------------
+
+    /** Single bit @p index of @p a. */
+    Sig bit(Sig a, int index) { return slice(a, index, 1); }
+
+    /** Zero-extend (or truncate) to @p width. */
+    Sig resize(Sig a, int width);
+
+    /** a == value (as unsigned constant). */
+    Sig eqConst(Sig a, uint64_t value) { return eq(a, lit(value, a.width)); }
+
+    /** Reduction OR / AND over all bits. */
+    Sig redOr(Sig a) { return ne(a, lit(0, a.width)); }
+    Sig redAnd(Sig a) { return eq(a, lit(maskValue(a.width), a.width)); }
+
+    /** a + constant. */
+    Sig addConst(Sig a, uint64_t value)
+    {
+        return add(a, lit(value & maskValue(a.width), a.width));
+    }
+
+    /** Increment modulo @p modulus (modulus <= 2^width). */
+    Sig incMod(Sig a, uint64_t modulus);
+
+    /** AND/OR over a list (returns constant for empty lists). */
+    Sig andAll(const std::vector<Sig> &sigs);
+    Sig orAll(const std::vector<Sig> &sigs);
+
+    /** Implication a -> b. */
+    Sig implies(Sig a, Sig b) { return orOf(notOf(a), b); }
+
+    // --- Memories ---------------------------------------------------------
+
+    /**
+     * Create a @p depth x @p width memory. Depth must be a power of two
+     * (addresses use exactly log2(depth) bits and wrap). The Builder owns
+     * the MemArray; it stays valid until the Builder is destroyed.
+     */
+    MemArray &memory(const std::string &name, size_t depth, int width,
+                     bool symbolic_init);
+
+    // --- Properties --------------------------------------------------------
+
+    /** SVA `assume property`: must hold at every cycle. */
+    void assume(Sig cond, const std::string &name = "");
+
+    /** Assumption on the initial state only. */
+    void assumeInit(Sig cond, const std::string &name = "");
+
+    /**
+     * SVA `assert property`: registers the *negation* of @p cond as a
+     * bad-state net. Returns the bad net.
+     */
+    Sig assertAlways(Sig cond, const std::string &name = "");
+
+    /** Name a signal for debugging / VCD. */
+    Sig named(Sig sig, const std::string &name);
+
+    /** Seal all memories and finalize the circuit. */
+    void finish();
+
+  private:
+    static uint64_t maskValue(int width);
+
+    Sig makeOp(Op op, int width, Sig a, Sig b = {}, Sig c = {},
+               uint64_t imm = 0);
+    bool constValue(Sig s, uint64_t &out) const;
+
+    Circuit &circuit_;
+    std::vector<Sig> gateStack_;
+    std::vector<std::unique_ptr<MemArray>> memories_;
+
+    struct OpKey
+    {
+        Op op;
+        int width;
+        NetId a, b, c;
+        uint64_t imm;
+        bool operator==(const OpKey &o) const = default;
+    };
+    struct OpKeyHash
+    {
+        size_t operator()(const OpKey &k) const;
+    };
+    std::unordered_map<OpKey, NetId, OpKeyHash> cse_;
+
+    friend class MemArray;
+};
+
+} // namespace csl::rtl
+
+#endif // CSL_RTL_BUILDER_H_

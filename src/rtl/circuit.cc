@@ -1,0 +1,222 @@
+#include "rtl/circuit.h"
+
+#include <deque>
+
+#include "base/bits.h"
+#include "base/logging.h"
+
+namespace csl::rtl {
+
+NetId
+Circuit::addNet(const Net &net)
+{
+    csl_assert(!finalized_, "cannot add nets to a finalized circuit");
+    csl_assert(net.width >= 1 && net.width <= kMaxNetWidth,
+               "net width out of range: ", int(net.width));
+
+    const NetId id = static_cast<NetId>(nets_.size());
+    const int arity = opArity(net.op);
+
+    auto check_operand = [&](NetId operand) {
+        csl_assert(operand >= 0 && operand < id,
+                   "operand ", operand, " of net ", id,
+                   " (", opName(net.op), ") must reference an earlier net");
+    };
+    if (arity >= 1)
+        check_operand(net.a);
+    if (arity >= 2)
+        check_operand(net.b);
+    if (arity >= 3)
+        check_operand(net.c);
+
+    // Width discipline per operator.
+    switch (net.op) {
+      case Op::Const:
+        csl_assert(net.imm == truncBits(net.imm, net.width),
+                   "constant wider than declared width");
+        break;
+      case Op::Input:
+        break;
+      case Op::Reg:
+        csl_assert(net.symbolicInit ||
+                       net.imm == truncBits(net.imm, net.width),
+                   "register init wider than declared width");
+        break;
+      case Op::Not:
+        csl_assert(nets_[net.a].width == net.width, "not width mismatch");
+        break;
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul:
+        csl_assert(nets_[net.a].width == net.width &&
+                       nets_[net.b].width == net.width,
+                   opName(net.op), " width mismatch");
+        break;
+      case Op::Eq:
+      case Op::Ult:
+        csl_assert(net.width == 1, opName(net.op), " result must be 1 bit");
+        csl_assert(nets_[net.a].width == nets_[net.b].width,
+                   opName(net.op), " operand width mismatch");
+        break;
+      case Op::Mux:
+        csl_assert(nets_[net.a].width == 1, "mux select must be 1 bit");
+        csl_assert(nets_[net.b].width == net.width &&
+                       nets_[net.c].width == net.width,
+                   "mux arm width mismatch");
+        break;
+      case Op::Concat:
+        csl_assert(nets_[net.a].width + nets_[net.b].width == net.width,
+                   "concat width mismatch");
+        break;
+      case Op::Slice:
+        csl_assert(net.imm + net.width <= nets_[net.a].width,
+                   "slice out of range");
+        break;
+    }
+
+    nets_.push_back(net);
+    if (net.op == Op::Reg)
+        registers_.push_back(id);
+    else if (net.op == Op::Input)
+        inputs_.push_back(id);
+    return id;
+}
+
+void
+Circuit::connectReg(NetId reg, NetId next)
+{
+    csl_assert(!finalized_, "cannot rewire a finalized circuit");
+    checkId(reg);
+    checkId(next);
+    Net &r = nets_[reg];
+    csl_assert(r.op == Op::Reg, "connectReg target is not a register");
+    csl_assert(r.a == kNoNet, "register already connected");
+    csl_assert(nets_[next].width == r.width,
+               "register next-state width mismatch");
+    r.a = next;
+}
+
+void
+Circuit::addConstraint(NetId net)
+{
+    checkId(net);
+    csl_assert(nets_[net].width == 1, "constraint must be 1 bit");
+    constraints_.push_back(net);
+}
+
+void
+Circuit::addInitConstraint(NetId net)
+{
+    checkId(net);
+    csl_assert(nets_[net].width == 1, "init constraint must be 1 bit");
+    initConstraints_.push_back(net);
+}
+
+void
+Circuit::addBad(NetId net)
+{
+    checkId(net);
+    csl_assert(nets_[net].width == 1, "bad signal must be 1 bit");
+    bads_.push_back(net);
+}
+
+void
+Circuit::setName(NetId net, std::string name)
+{
+    checkId(net);
+    byName_[name] = net;
+    names_[net] = std::move(name);
+}
+
+std::string
+Circuit::name(NetId net) const
+{
+    auto it = names_.find(net);
+    if (it != names_.end())
+        return it->second;
+    return std::string(opName(nets_[net].op)) + "#" + std::to_string(net);
+}
+
+NetId
+Circuit::findByName(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    return it == byName_.end() ? kNoNet : it->second;
+}
+
+void
+Circuit::finalize()
+{
+    csl_assert(!finalized_, "circuit already finalized");
+    for (NetId reg : registers_) {
+        csl_assert(nets_[reg].a != kNoNet,
+                   "register ", name(reg), " has no next-state net");
+    }
+    finalized_ = true;
+}
+
+CircuitStats
+Circuit::stats() const
+{
+    CircuitStats s;
+    s.nets = nets_.size();
+    s.registers = registers_.size();
+    s.inputs = inputs_.size();
+    s.constraints = constraints_.size() + initConstraints_.size();
+    s.bads = bads_.size();
+    for (NetId reg : registers_)
+        s.stateBits += nets_[reg].width;
+    for (NetId in : inputs_)
+        s.inputBits += nets_[in].width;
+    return s;
+}
+
+std::vector<bool>
+Circuit::coneOfInfluence(const std::vector<NetId> &extra_roots) const
+{
+    std::vector<bool> marked(nets_.size(), false);
+    std::deque<NetId> queue;
+    auto push = [&](NetId id) {
+        if (id != kNoNet && !marked[id]) {
+            marked[id] = true;
+            queue.push_back(id);
+        }
+    };
+    for (NetId id : constraints_)
+        push(id);
+    for (NetId id : initConstraints_)
+        push(id);
+    for (NetId id : bads_)
+        push(id);
+    for (NetId id : extra_roots)
+        push(id);
+    while (!queue.empty()) {
+        NetId id = queue.front();
+        queue.pop_front();
+        const Net &n = nets_[id];
+        if (n.op == Op::Reg) {
+            push(n.a); // next-state logic
+            continue;
+        }
+        const int arity = opArity(n.op);
+        if (arity >= 1)
+            push(n.a);
+        if (arity >= 2)
+            push(n.b);
+        if (arity >= 3)
+            push(n.c);
+    }
+    return marked;
+}
+
+void
+Circuit::checkId(NetId id) const
+{
+    csl_assert(id >= 0 && static_cast<size_t>(id) < nets_.size(),
+               "net id ", id, " out of range");
+}
+
+} // namespace csl::rtl

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The Circuit container: a flat net list plus role annotations.
+ */
+
+#ifndef CSL_RTL_CIRCUIT_H_
+#define CSL_RTL_CIRCUIT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtl/net.h"
+
+namespace csl::rtl {
+
+/** Aggregate size statistics for reporting (Table 1 analog). */
+struct CircuitStats
+{
+    size_t nets = 0;
+    size_t registers = 0;
+    size_t stateBits = 0;
+    size_t inputs = 0;
+    size_t inputBits = 0;
+    size_t constraints = 0;
+    size_t bads = 0;
+};
+
+/**
+ * A synchronous word-level circuit.
+ *
+ * Nets are created through addNet() (normally via the Builder) and are
+ * immutable once added, except that a register's next-state operand is
+ * connected later via connectReg(). finalize() validates the whole
+ * structure; engines require a finalized circuit.
+ */
+class Circuit
+{
+  public:
+    /** Append a net; returns its id. Operands must already exist. */
+    NetId addNet(const Net &net);
+
+    /** Connect register @p reg's next-state input to @p next. */
+    void connectReg(NetId reg, NetId next);
+
+    /** Mark a 1-bit net as an every-cycle assumption. */
+    void addConstraint(NetId net);
+
+    /** Mark a 1-bit net as an assumption on the initial state only. */
+    void addInitConstraint(NetId net);
+
+    /** Mark a 1-bit net as a bad-state signal (assertion failure). */
+    void addBad(NetId net);
+
+    /** Attach a debug name to a net (also used by the VCD writer). */
+    void setName(NetId net, std::string name);
+
+    /** Name of @p net, or a generated placeholder. */
+    std::string name(NetId net) const;
+
+    /** Look up a net id by exact name; kNoNet when absent. */
+    NetId findByName(const std::string &name) const;
+
+    /** Validate structure; must be called before simulation/bit-blasting. */
+    void finalize();
+
+    bool finalized() const { return finalized_; }
+
+    const Net &net(NetId id) const { return nets_[id]; }
+    size_t numNets() const { return nets_.size(); }
+
+    const std::vector<NetId> &registers() const { return registers_; }
+    const std::vector<NetId> &inputs() const { return inputs_; }
+    const std::vector<NetId> &constraints() const { return constraints_; }
+    const std::vector<NetId> &initConstraints() const
+    {
+        return initConstraints_;
+    }
+    const std::vector<NetId> &bads() const { return bads_; }
+
+    /** Size statistics for reporting. */
+    CircuitStats stats() const;
+
+    /**
+     * Mark the nets in the cone of influence of the given roots (all
+     * constraints, init constraints and bads plus @p extra_roots).
+     * Returns a bitmap indexed by NetId.
+     */
+    std::vector<bool> coneOfInfluence(
+        const std::vector<NetId> &extra_roots = {}) const;
+
+  private:
+    void checkId(NetId id) const;
+
+    std::vector<Net> nets_;
+    std::vector<NetId> registers_;
+    std::vector<NetId> inputs_;
+    std::vector<NetId> constraints_;
+    std::vector<NetId> initConstraints_;
+    std::vector<NetId> bads_;
+    std::unordered_map<NetId, std::string> names_;
+    std::unordered_map<std::string, NetId> byName_;
+    bool finalized_ = false;
+};
+
+} // namespace csl::rtl
+
+#endif // CSL_RTL_CIRCUIT_H_

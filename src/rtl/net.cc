@@ -1,0 +1,58 @@
+#include "rtl/net.h"
+
+#include "base/logging.h"
+
+namespace csl::rtl {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Const: return "const";
+      case Op::Input: return "input";
+      case Op::Reg: return "reg";
+      case Op::Not: return "not";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Mux: return "mux";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Eq: return "eq";
+      case Op::Ult: return "ult";
+      case Op::Concat: return "concat";
+      case Op::Slice: return "slice";
+    }
+    csl_panic("unknown op");
+}
+
+int
+opArity(Op op)
+{
+    switch (op) {
+      case Op::Const:
+      case Op::Input:
+        return 0;
+      case Op::Reg: // next-state operand handled separately
+        return 0;
+      case Op::Not:
+      case Op::Slice:
+        return 1;
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul:
+      case Op::Eq:
+      case Op::Ult:
+      case Op::Concat:
+        return 2;
+      case Op::Mux:
+        return 3;
+    }
+    csl_panic("unknown op");
+}
+
+} // namespace csl::rtl

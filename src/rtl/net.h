@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Word-level intermediate representation for synchronous RTL.
+ *
+ * A Circuit is a finite transition system in the btor2 spirit: a flat list
+ * of word-level nets (constants, free inputs, registers and combinational
+ * operators) plus designated 1-bit roles:
+ *
+ *  - constraints:      environment assumptions that must hold every cycle
+ *                      (SVA `assume property (@(posedge clk) ...)`);
+ *  - initConstraints:  assumptions on the symbolic initial state only;
+ *  - bads:             bad-state signals; the safety property is that no
+ *                      bad signal is ever 1 (SVA `assert property (!bad)`).
+ *
+ * Memories are lowered by the Builder into per-word registers plus mux
+ *  trees, so the IR itself stays minimal and easy to bit-blast.
+ */
+
+#ifndef CSL_RTL_NET_H_
+#define CSL_RTL_NET_H_
+
+#include <cstdint>
+#include <string>
+
+namespace csl::rtl {
+
+/** Index of a net inside its Circuit. */
+using NetId = int32_t;
+
+/** Sentinel for "no net". */
+inline constexpr NetId kNoNet = -1;
+
+/** Word-level operators. */
+enum class Op : uint8_t {
+    Const,  ///< immediate constant (value in Net::imm)
+    Input,  ///< free primary input, fresh every cycle
+    Reg,    ///< state element; Net::a is its next-state net
+    Not,    ///< bitwise complement of a
+    And,    ///< a & b
+    Or,     ///< a | b
+    Xor,    ///< a ^ b
+    Mux,    ///< a ? b : c (a is 1 bit)
+    Add,    ///< a + b (mod 2^width)
+    Sub,    ///< a - b (mod 2^width)
+    Mul,    ///< a * b (mod 2^width)
+    Eq,     ///< a == b (1-bit result)
+    Ult,    ///< a < b unsigned (1-bit result)
+    Concat, ///< {a, b}: a forms the high bits, b the low bits
+    Slice,  ///< a[imm + width - 1 : imm]
+};
+
+/** Human-readable operator mnemonic. */
+const char *opName(Op op);
+
+/** Number of net operands an operator takes. */
+int opArity(Op op);
+
+/**
+ * One IR node. Operand ids always refer to earlier nets except for
+ * Reg::a (the next-state net), which may be connected after creation;
+ * this is the only place cycles may appear, which keeps net-id order a
+ * valid combinational evaluation order.
+ */
+struct Net
+{
+    Op op = Op::Const;
+    uint8_t width = 1;       ///< result width in bits (1..64)
+    bool symbolicInit = false; ///< Reg only: free initial value
+    NetId a = kNoNet;
+    NetId b = kNoNet;
+    NetId c = kNoNet;
+    /** Const: value; Slice: low bit offset; Reg: concrete initial value. */
+    uint64_t imm = 0;
+};
+
+} // namespace csl::rtl
+
+#endif // CSL_RTL_NET_H_

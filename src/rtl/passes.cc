@@ -1,0 +1,66 @@
+#include "rtl/passes.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace csl::rtl {
+
+void
+dumpCircuit(const Circuit &circuit, std::ostream &os)
+{
+    for (NetId id = 0; id < static_cast<NetId>(circuit.numNets()); ++id) {
+        const Net &n = circuit.net(id);
+        os << id << ": " << opName(n.op) << "[" << int(n.width) << "]";
+        const int arity = opArity(n.op);
+        if (n.op == Op::Reg) {
+            os << " next=" << n.a;
+            os << (n.symbolicInit ? " init=symbolic"
+                                  : " init=" + std::to_string(n.imm));
+        }
+        if (arity >= 1)
+            os << " a=" << n.a;
+        if (arity >= 2)
+            os << " b=" << n.b;
+        if (arity >= 3)
+            os << " c=" << n.c;
+        if (n.op == Op::Const)
+            os << " value=" << n.imm;
+        if (n.op == Op::Slice)
+            os << " lo=" << n.imm;
+        os << "  // " << circuit.name(id) << "\n";
+    }
+    os << "constraints:";
+    for (NetId id : circuit.constraints())
+        os << " " << id;
+    os << "\ninitConstraints:";
+    for (NetId id : circuit.initConstraints())
+        os << " " << id;
+    os << "\nbads:";
+    for (NetId id : circuit.bads())
+        os << " " << id;
+    os << "\n";
+}
+
+std::string
+summarize(const Circuit &circuit)
+{
+    CircuitStats s = circuit.stats();
+    std::ostringstream oss;
+    oss << "nets=" << s.nets << " regs=" << s.registers
+        << " stateBits=" << s.stateBits << " inputs=" << s.inputs
+        << " inputBits=" << s.inputBits << " constraints=" << s.constraints
+        << " bads=" << s.bads << " cone=" << coneSize(circuit);
+    return oss.str();
+}
+
+size_t
+coneSize(const Circuit &circuit)
+{
+    auto marked = circuit.coneOfInfluence();
+    size_t count = 0;
+    for (bool m : marked)
+        count += m;
+    return count;
+}
+
+} // namespace csl::rtl

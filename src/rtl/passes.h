@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Analysis/reporting passes over Circuits: textual dump and cone-of-
+ * influence statistics. Structural rewriting happens on the fly inside
+ * the Builder (constant folding, hash-consing), so the pass layer stays
+ * read-only.
+ */
+
+#ifndef CSL_RTL_PASSES_H_
+#define CSL_RTL_PASSES_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "rtl/circuit.h"
+
+namespace csl::rtl {
+
+/** Print a human-readable net list (for debugging small circuits). */
+void dumpCircuit(const Circuit &circuit, std::ostream &os);
+
+/** One-line summary such as "nets=1234 regs=56 stateBits=789 ...". */
+std::string summarize(const Circuit &circuit);
+
+/** Number of nets inside the property cone of influence. */
+size_t coneSize(const Circuit &circuit);
+
+} // namespace csl::rtl
+
+#endif // CSL_RTL_PASSES_H_

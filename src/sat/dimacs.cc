@@ -1,0 +1,67 @@
+#include "sat/dimacs.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "base/logging.h"
+
+namespace csl::sat {
+
+Cnf
+parseDimacs(std::istream &is)
+{
+    Cnf cnf;
+    std::string line;
+    std::vector<Lit> current;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == 'c')
+            continue;
+        if (line[0] == 'p') {
+            std::istringstream hs(line);
+            std::string p, fmt;
+            int clauses = 0;
+            hs >> p >> fmt >> cnf.numVars >> clauses;
+            csl_assert(fmt == "cnf", "unsupported DIMACS format: ", fmt);
+            continue;
+        }
+        std::istringstream ls(line);
+        long v;
+        while (ls >> v) {
+            if (v == 0) {
+                cnf.clauses.push_back(current);
+                current.clear();
+            } else {
+                int av = static_cast<int>(v < 0 ? -v : v);
+                if (av > cnf.numVars)
+                    cnf.numVars = av;
+                current.push_back(mkLit(av - 1, v < 0));
+            }
+        }
+    }
+    csl_assert(current.empty(), "trailing literals without terminating 0");
+    return cnf;
+}
+
+void
+writeDimacs(const Cnf &cnf, std::ostream &os)
+{
+    os << "p cnf " << cnf.numVars << " " << cnf.clauses.size() << "\n";
+    for (const auto &clause : cnf.clauses) {
+        for (Lit l : clause)
+            os << (sign(l) ? -(var(l) + 1) : (var(l) + 1)) << " ";
+        os << "0\n";
+    }
+}
+
+void
+loadCnf(const Cnf &cnf, Solver &solver)
+{
+    while (solver.numVars() < cnf.numVars)
+        solver.newVar();
+    for (const auto &clause : cnf.clauses)
+        solver.addClause(clause);
+}
+
+} // namespace csl::sat

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * DIMACS CNF reading/writing, used by the test-suite to cross-check the
+ * solver on standard instances and to dump generated problems.
+ */
+
+#ifndef CSL_SAT_DIMACS_H_
+#define CSL_SAT_DIMACS_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "sat/solver.h"
+
+namespace csl::sat {
+
+/** A raw CNF: clause list over variables 0..numVars-1. */
+struct Cnf
+{
+    int numVars = 0;
+    std::vector<std::vector<Lit>> clauses;
+};
+
+/** Parse DIMACS from a stream; panics on malformed input. */
+Cnf parseDimacs(std::istream &is);
+
+/** Write DIMACS. */
+void writeDimacs(const Cnf &cnf, std::ostream &os);
+
+/** Load a Cnf into a solver (creating variables as needed). */
+void loadCnf(const Cnf &cnf, Solver &solver);
+
+} // namespace csl::sat
+
+#endif // CSL_SAT_DIMACS_H_

@@ -1,0 +1,584 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace csl::sat {
+
+Solver::Solver() = default;
+
+// ---------------------------------------------------------------------------
+// Variables
+
+Var
+Solver::newVar()
+{
+    Var v = static_cast<Var>(assigns_.size());
+    assigns_.push_back(LBool::Undef);
+    polarity_.push_back(true);
+    level_.push_back(0);
+    reason_.push_back(kCRefUndef);
+    activity_.push_back(0.0);
+    seen_.push_back(false);
+    heapPos_.push_back(-1);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    insertVarOrder(v);
+    return v;
+}
+
+LBool
+Solver::value(Lit l) const
+{
+    LBool v = assigns_[var(l)];
+    if (v == LBool::Undef)
+        return LBool::Undef;
+    bool b = (v == LBool::True) != sign(l);
+    return boolToLBool(b);
+}
+
+// ---------------------------------------------------------------------------
+// Clause arena
+
+Solver::CRef
+Solver::allocClause(const std::vector<Lit> &lits, bool learnt)
+{
+    CRef ref = static_cast<CRef>(arena_.size());
+    arena_.push_back((static_cast<uint32_t>(lits.size()) << 2) |
+                     (learnt ? 2u : 0u));
+    if (learnt)
+        arena_.push_back(0);
+    for (Lit l : lits)
+        arena_.push_back(static_cast<uint32_t>(l.x));
+    if (learnt) {
+        ClauseRef c = clause(ref);
+        c.setActivity(static_cast<float>(claInc_));
+    }
+    return ref;
+}
+
+void
+Solver::attachClause(CRef ref)
+{
+    ClauseRef c = clause(ref);
+    csl_assert(c.size() >= 2, "cannot attach unit clause");
+    watches_[(~c[0]).x].push_back({ref, c[1]});
+    watches_[(~c[1]).x].push_back({ref, c[0]});
+}
+
+bool
+Solver::addClause(std::vector<Lit> lits)
+{
+    csl_assert(decisionLevel() == 0, "addClause above the root level");
+    if (!ok_)
+        return false;
+
+    std::sort(lits.begin(), lits.end());
+    // Dedupe; drop root-false literals; detect tautologies and
+    // root-satisfied clauses.
+    std::vector<Lit> out;
+    Lit prev = kLitUndef;
+    for (Lit l : lits) {
+        csl_assert(var(l) >= 0 && var(l) < numVars(), "literal out of range");
+        if (value(l) == LBool::True || l == ~prev)
+            return true; // already satisfied / tautology
+        if (value(l) == LBool::False || l == prev)
+            continue;
+        out.push_back(l);
+        prev = l;
+    }
+
+    if (out.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        uncheckedEnqueue(out[0], kCRefUndef);
+        ok_ = propagate() == kCRefUndef;
+        return ok_;
+    }
+    CRef ref = allocClause(out, false);
+    attachClause(ref);
+    ++numProblemClauses_;
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Trail
+
+void
+Solver::uncheckedEnqueue(Lit l, CRef reason)
+{
+    csl_assert(value(l) == LBool::Undef, "enqueue of assigned literal");
+    assigns_[var(l)] = boolToLBool(!sign(l));
+    level_[var(l)] = decisionLevel();
+    reason_[var(l)] = reason;
+    trail_.push_back(l);
+}
+
+void
+Solver::cancelUntil(int level)
+{
+    if (decisionLevel() <= level)
+        return;
+    for (size_t i = trail_.size(); i-- > static_cast<size_t>(trailLim_[level]);) {
+        Var v = var(trail_[i]);
+        assigns_[v] = LBool::Undef;
+        polarity_[v] = sign(trail_[i]);
+        reason_[v] = kCRefUndef;
+        insertVarOrder(v);
+    }
+    trail_.resize(trailLim_[level]);
+    trailLim_.resize(level);
+    qhead_ = trail_.size();
+}
+
+Solver::CRef
+Solver::propagate()
+{
+    CRef confl = kCRefUndef;
+    while (qhead_ < trail_.size()) {
+        Lit p = trail_[qhead_++];
+        ++stats_.propagations;
+        std::vector<Watcher> &ws = watches_[p.x];
+        size_t i = 0, j = 0;
+        while (i < ws.size()) {
+            Watcher w = ws[i];
+            if (value(w.blocker) == LBool::True) {
+                ws[j++] = ws[i++];
+                continue;
+            }
+            ClauseRef c = clause(w.cref);
+            if (c.dead()) {
+                ++i; // lazily drop watcher of a deleted clause
+                continue;
+            }
+            Lit false_lit = ~p;
+            if (c[0] == false_lit)
+                std::swap(c.lits()[0], c.lits()[1]);
+            ++i;
+            Lit first = c[0];
+            Watcher updated{w.cref, first};
+            if (first != w.blocker && value(first) == LBool::True) {
+                ws[j++] = updated;
+                continue;
+            }
+            bool found = false;
+            for (uint32_t k = 2; k < c.size(); ++k) {
+                if (value(c[k]) != LBool::False) {
+                    std::swap(c.lits()[1], c.lits()[k]);
+                    watches_[(~c[1]).x].push_back(updated);
+                    found = true;
+                    break;
+                }
+            }
+            if (found)
+                continue;
+            // Clause is unit or conflicting under the current assignment.
+            ws[j++] = updated;
+            if (value(first) == LBool::False) {
+                confl = w.cref;
+                qhead_ = trail_.size();
+                while (i < ws.size())
+                    ws[j++] = ws[i++];
+            } else {
+                uncheckedEnqueue(first, w.cref);
+            }
+        }
+        ws.resize(j);
+        if (confl != kCRefUndef)
+            break;
+    }
+    return confl;
+}
+
+// ---------------------------------------------------------------------------
+// Conflict analysis
+
+namespace {
+inline uint32_t
+abstractLevel(int level)
+{
+    return 1u << (level & 31);
+}
+} // namespace
+
+void
+Solver::analyze(CRef conflict, std::vector<Lit> &out_learnt, int &out_btlevel)
+{
+    int path_count = 0;
+    Lit p = kLitUndef;
+    out_learnt.clear();
+    out_learnt.push_back(kLitUndef); // slot for the asserting literal
+    size_t index = trail_.size();
+
+    CRef confl = conflict;
+    do {
+        csl_assert(confl != kCRefUndef, "no reason in analyze");
+        ClauseRef c = clause(confl);
+        if (c.learnt())
+            claBumpActivity(c);
+        for (uint32_t j = (p == kLitUndef) ? 0 : 1; j < c.size(); ++j) {
+            Lit q = c[j];
+            if (!seen_[var(q)] && level_[var(q)] > 0) {
+                varBumpActivity(var(q));
+                seen_[var(q)] = true;
+                if (level_[var(q)] >= decisionLevel())
+                    ++path_count;
+                else
+                    out_learnt.push_back(q);
+            }
+        }
+        while (!seen_[var(trail_[--index])]) {}
+        p = trail_[index];
+        confl = reason_[var(p)];
+        seen_[var(p)] = false;
+        --path_count;
+    } while (path_count > 0);
+    out_learnt[0] = ~p;
+
+    // Clause minimization: drop literals implied by the rest of the clause.
+    analyzeToClear_ = out_learnt;
+    uint32_t abstract = 0;
+    for (size_t i = 1; i < out_learnt.size(); ++i)
+        abstract |= abstractLevel(level_[var(out_learnt[i])]);
+    size_t keep = 1;
+    for (size_t i = 1; i < out_learnt.size(); ++i) {
+        Lit l = out_learnt[i];
+        if (reason_[var(l)] == kCRefUndef || !litRedundant(l, abstract))
+            out_learnt[keep++] = l;
+    }
+    out_learnt.resize(keep);
+    stats_.learntLiterals += keep;
+
+    // Find the backtrack level and place its literal at index 1.
+    if (out_learnt.size() == 1) {
+        out_btlevel = 0;
+    } else {
+        size_t max_i = 1;
+        for (size_t i = 2; i < out_learnt.size(); ++i)
+            if (level_[var(out_learnt[i])] > level_[var(out_learnt[max_i])])
+                max_i = i;
+        std::swap(out_learnt[1], out_learnt[max_i]);
+        out_btlevel = level_[var(out_learnt[1])];
+    }
+
+    for (Lit l : analyzeToClear_)
+        seen_[var(l)] = false;
+}
+
+void
+Solver::analyzeFinal(Lit p)
+{
+    // Collect the assumptions responsible for forcing ~p (MiniSat's
+    // analyzeFinal): walk the trail from the top, expanding reasons.
+    conflict_.clear();
+    conflict_.push_back(p);
+    if (decisionLevel() == 0)
+        return;
+    seen_[var(p)] = true;
+    for (size_t i = trail_.size(); i-- > size_t(trailLim_[0]);) {
+        Var x = var(trail_[i]);
+        if (!seen_[x])
+            continue;
+        if (reason_[x] == kCRefUndef) {
+            // A decision inside the assumption levels is an assumption.
+            csl_assert(level_[x] > 0, "decision at root in analyzeFinal");
+            conflict_.push_back(trail_[i]);
+        } else {
+            ClauseRef c = clause(reason_[x]);
+            for (uint32_t j = 1; j < c.size(); ++j)
+                if (level_[var(c[j])] > 0)
+                    seen_[var(c[j])] = true;
+        }
+        seen_[x] = false;
+    }
+    seen_[var(p)] = false;
+}
+
+bool
+Solver::litRedundant(Lit l, uint32_t abstract_levels)
+{
+    analyzeStack_.clear();
+    analyzeStack_.push_back(l);
+    size_t top = analyzeToClear_.size();
+    while (!analyzeStack_.empty()) {
+        Lit cur = analyzeStack_.back();
+        analyzeStack_.pop_back();
+        csl_assert(reason_[var(cur)] != kCRefUndef, "redundant check on decision");
+        ClauseRef c = clause(reason_[var(cur)]);
+        for (uint32_t i = 1; i < c.size(); ++i) {
+            Lit q = c[i];
+            if (seen_[var(q)] || level_[var(q)] == 0)
+                continue;
+            if (reason_[var(q)] == kCRefUndef ||
+                (abstractLevel(level_[var(q)]) & abstract_levels) == 0) {
+                // Not removable: undo marks made during this check.
+                for (size_t j = top; j < analyzeToClear_.size(); ++j)
+                    seen_[var(analyzeToClear_[j])] = false;
+                analyzeToClear_.resize(top);
+                return false;
+            }
+            seen_[var(q)] = true;
+            analyzeToClear_.push_back(q);
+            analyzeStack_.push_back(q);
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Activity heap
+
+void
+Solver::varBumpActivity(Var v)
+{
+    activity_[v] += varInc_;
+    if (activity_[v] > 1e100) {
+        for (double &a : activity_)
+            a *= 1e-100;
+        varInc_ *= 1e-100;
+    }
+    if (heapPos_[v] >= 0)
+        heapDecrease(heapPos_[v]);
+}
+
+void
+Solver::claBumpActivity(ClauseRef c)
+{
+    float act = c.activity() + static_cast<float>(claInc_);
+    c.setActivity(act);
+    if (act > 1e20f) {
+        for (CRef ref : learnts_) {
+            ClauseRef lc = clause(ref);
+            lc.setActivity(lc.activity() * 1e-20f);
+        }
+        claInc_ *= 1e-20;
+    }
+}
+
+void
+Solver::insertVarOrder(Var v)
+{
+    if (heapPos_[v] >= 0)
+        return;
+    heapPos_[v] = static_cast<int>(heap_.size());
+    heap_.push_back(v);
+    heapDecrease(heapPos_[v]);
+}
+
+void
+Solver::heapDecrease(int pos)
+{
+    // Percolate toward the root (higher activity wins).
+    Var v = heap_[pos];
+    while (pos > 0) {
+        int parent = (pos - 1) >> 1;
+        if (!heapLess(v, heap_[parent]))
+            break;
+        heap_[pos] = heap_[parent];
+        heapPos_[heap_[pos]] = pos;
+        pos = parent;
+    }
+    heap_[pos] = v;
+    heapPos_[v] = pos;
+}
+
+void
+Solver::heapIncrease(int pos)
+{
+    Var v = heap_[pos];
+    const int size = static_cast<int>(heap_.size());
+    for (;;) {
+        int child = 2 * pos + 1;
+        if (child >= size)
+            break;
+        if (child + 1 < size && heapLess(heap_[child + 1], heap_[child]))
+            ++child;
+        if (!heapLess(heap_[child], v))
+            break;
+        heap_[pos] = heap_[child];
+        heapPos_[heap_[pos]] = pos;
+        pos = child;
+    }
+    heap_[pos] = v;
+    heapPos_[v] = pos;
+}
+
+Var
+Solver::pickBranchVar()
+{
+    while (!heap_.empty()) {
+        Var v = heap_[0];
+        Var last = heap_.back();
+        heap_.pop_back();
+        heapPos_[v] = -1;
+        if (!heap_.empty() && v != last) {
+            heap_[0] = last;
+            heapPos_[last] = 0;
+            heapIncrease(0);
+        }
+        if (assigns_[v] == LBool::Undef)
+            return v;
+    }
+    return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Learnt database reduction
+
+void
+Solver::reduceDB()
+{
+    std::sort(learnts_.begin(), learnts_.end(), [this](CRef a, CRef b) {
+        ClauseRef ca = clause(a), cb = clause(b);
+        if ((ca.size() == 2) != (cb.size() == 2))
+            return cb.size() == 2; // binary clauses sort last (kept)
+        return ca.activity() < cb.activity();
+    });
+    auto locked = [this](CRef ref) {
+        ClauseRef c = clause(ref);
+        Lit first = c[0];
+        return reason_[var(first)] == ref && value(first) == LBool::True;
+    };
+    size_t keep_from = learnts_.size() / 2;
+    std::vector<CRef> kept;
+    kept.reserve(learnts_.size() - keep_from + 16);
+    for (size_t i = 0; i < learnts_.size(); ++i) {
+        CRef ref = learnts_[i];
+        ClauseRef c = clause(ref);
+        if (i < keep_from && c.size() > 2 && !locked(ref)) {
+            c.markDead(); // watchers are dropped lazily in propagate()
+            ++stats_.removedClauses;
+        } else {
+            kept.push_back(ref);
+        }
+    }
+    learnts_.swap(kept);
+}
+
+// ---------------------------------------------------------------------------
+// Main search
+
+uint64_t
+Solver::lubySequence(uint64_t i)
+{
+    // Value at 0-based position i of the Luby sequence 1 1 2 1 1 2 4 ...
+    uint64_t size = 1, seq = 0;
+    while (size < i + 1) {
+        ++seq;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != i) {
+        size = (size - 1) >> 1;
+        --seq;
+        i %= size;
+    }
+    return 1ull << seq;
+}
+
+Status
+Solver::solve(const std::vector<Lit> &assumptions, Budget *budget)
+{
+    csl_assert(decisionLevel() == 0, "solve re-entered above root");
+    model_.clear();
+    conflict_.clear();
+    if (!ok_)
+        return Status::Unsat;
+    if (propagate() != kCRefUndef) {
+        ok_ = false;
+        return Status::Unsat;
+    }
+
+    if (maxLearnts_ <= 0)
+        maxLearnts_ = std::max<double>(4000.0, numProblemClauses_ * 0.35);
+
+    uint64_t restart_index = 0;
+    uint64_t conflicts_until_restart = 256 * lubySequence(restart_index);
+    std::vector<Lit> learnt;
+
+    for (;;) {
+        CRef confl = propagate();
+        if (confl != kCRefUndef) {
+            ++stats_.conflicts;
+            if (budget) {
+                budget->charge(1);
+                if (budget->exhausted()) {
+                    cancelUntil(0);
+                    return Status::Unknown;
+                }
+            }
+            if (decisionLevel() == 0) {
+                ok_ = false;
+                return Status::Unsat;
+            }
+            int btlevel = 0;
+            analyze(confl, learnt, btlevel);
+            cancelUntil(btlevel);
+            if (learnt.size() == 1) {
+                uncheckedEnqueue(learnt[0], kCRefUndef);
+            } else {
+                CRef ref = allocClause(learnt, true);
+                learnts_.push_back(ref);
+                attachClause(ref);
+                uncheckedEnqueue(learnt[0], ref);
+            }
+            varDecayActivity();
+            claDecayActivity();
+            if (--conflicts_until_restart == 0) {
+                ++stats_.restarts;
+                cancelUntil(0);
+                ++restart_index;
+                conflicts_until_restart = 256 * lubySequence(restart_index);
+                if (static_cast<double>(learnts_.size()) > maxLearnts_) {
+                    reduceDB();
+                    maxLearnts_ *= 1.1;
+                }
+            }
+        } else {
+            // No conflict: extend the assignment.
+            Lit next = kLitUndef;
+            while (decisionLevel() < static_cast<int>(assumptions.size())) {
+                Lit p = assumptions[decisionLevel()];
+                if (value(p) == LBool::True) {
+                    // Dummy level keeps assumption indexing aligned.
+                    trailLim_.push_back(static_cast<int>(trail_.size()));
+                } else if (value(p) == LBool::False) {
+                    analyzeFinal(p);
+                    cancelUntil(0);
+                    return Status::Unsat;
+                } else {
+                    next = p;
+                    break;
+                }
+            }
+            if (next == kLitUndef) {
+                Var v = pickBranchVar();
+                if (v < 0) {
+                    // Full model found.
+                    model_.assign(assigns_.begin(), assigns_.end());
+                    cancelUntil(0);
+                    return Status::Sat;
+                }
+                ++stats_.decisions;
+                next = mkLit(v, polarity_[v]);
+            }
+            trailLim_.push_back(static_cast<int>(trail_.size()));
+            uncheckedEnqueue(next, kCRefUndef);
+        }
+    }
+}
+
+bool
+Solver::modelValue(Lit l) const
+{
+    csl_assert(!model_.empty(), "no model available");
+    LBool v = model_[var(l)];
+    if (v == LBool::Undef)
+        return false;
+    return (v == LBool::True) != sign(l);
+}
+
+} // namespace csl::sat

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * A from-scratch CDCL SAT solver in the MiniSat lineage.
+ *
+ * This is the decision-procedure substrate standing in for the paper's
+ * commercial model checker back-end. Features: two-watched-literal
+ * propagation with blockers, first-UIP conflict analysis with clause
+ * minimization, VSIDS decision heuristic, phase saving, Luby restarts,
+ * learnt-clause database reduction, incremental solving under
+ * assumptions, and budget-aware cancellation (used to realize the
+ * paper's verification timeouts).
+ */
+
+#ifndef CSL_SAT_SOLVER_H_
+#define CSL_SAT_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/budget.h"
+
+namespace csl::sat {
+
+/** 0-based propositional variable. */
+using Var = int32_t;
+
+/**
+ * A literal: variable plus sign, packed as 2*var+sign (sign 1 = negated).
+ */
+struct Lit
+{
+    int32_t x = -2;
+
+    bool operator==(const Lit &o) const = default;
+    bool operator<(const Lit &o) const { return x < o.x; }
+};
+
+inline Lit
+mkLit(Var v, bool neg = false)
+{
+    return Lit{2 * v + (neg ? 1 : 0)};
+}
+
+inline Lit operator~(Lit l) { return Lit{l.x ^ 1}; }
+inline bool sign(Lit l) { return l.x & 1; }
+inline Var var(Lit l) { return l.x >> 1; }
+
+/** The undefined literal. */
+inline constexpr Lit kLitUndef{-2};
+
+/** Three-valued assignment. */
+enum class LBool : uint8_t { False = 0, True = 1, Undef = 2 };
+
+inline LBool
+boolToLBool(bool b)
+{
+    return b ? LBool::True : LBool::False;
+}
+
+/** Result of a solve() call. */
+enum class Status { Sat, Unsat, Unknown };
+
+/** Aggregate search statistics. */
+struct SolverStats
+{
+    uint64_t conflicts = 0;
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t restarts = 0;
+    uint64_t learntLiterals = 0;
+    uint64_t removedClauses = 0;
+};
+
+/** CDCL solver. See file comment for the feature set. */
+class Solver
+{
+  public:
+    Solver();
+
+    /** Create a fresh variable; returns its index. */
+    Var newVar();
+
+    int numVars() const { return static_cast<int>(assigns_.size()); }
+
+    /**
+     * Add a clause. Returns false when the formula is already
+     * unsatisfiable at the root level (the solver stays usable but every
+     * solve() will return Unsat).
+     */
+    bool addClause(std::vector<Lit> lits);
+
+    /** Convenience overloads. */
+    bool addClause(Lit a) { return addClause(std::vector<Lit>{a}); }
+    bool addClause(Lit a, Lit b) { return addClause(std::vector<Lit>{a, b}); }
+    bool
+    addClause(Lit a, Lit b, Lit c)
+    {
+        return addClause(std::vector<Lit>{a, b, c});
+    }
+
+    /**
+     * Solve under the given assumption literals. @p budget limits the
+     * search (checked at every conflict); Unknown is returned when it
+     * expires. The solver backtracks to the root level afterwards, so
+     * clauses may be added and solve() called again (incremental use).
+     */
+    Status solve(const std::vector<Lit> &assumptions = {},
+                 Budget *budget = nullptr);
+
+    /** Model value of @p l after a Sat result. */
+    bool modelValue(Lit l) const;
+
+    /**
+     * After an Unsat result caused by the assumptions, the subset of
+     * assumption literals involved in the final conflict (MiniSat's
+     * `analyzeFinal`). Empty when the clause set is unsatisfiable on its
+     * own. Useful for minimizing queries (unsat-core-style reasoning).
+     */
+    const std::vector<Lit> &failedAssumptions() const { return conflict_; }
+
+    /** True when the clause set is contradictory at the root level. */
+    bool inconsistent() const { return !ok_; }
+
+    const SolverStats &stats() const { return stats_; }
+
+    /** Number of problem (non-learnt) clauses. */
+    size_t numClauses() const { return numProblemClauses_; }
+
+  private:
+    using CRef = uint32_t;
+    static constexpr CRef kCRefUndef = UINT32_MAX;
+
+    // --- Clause arena ---------------------------------------------------
+    // Layout per clause: header word (size << 2 | learnt << 1 | dead),
+    // then for learnt clauses one activity word (float bits), then the
+    // literals.
+    struct ClauseRef
+    {
+        uint32_t *base;
+
+        uint32_t size() const { return base[0] >> 2; }
+        bool learnt() const { return base[0] & 2; }
+        bool dead() const { return base[0] & 1; }
+        void markDead() { base[0] |= 1; }
+        float
+        activity() const
+        {
+            float f;
+            __builtin_memcpy(&f, &base[1], sizeof(f));
+            return f;
+        }
+        void
+        setActivity(float f)
+        {
+            __builtin_memcpy(&base[1], &f, sizeof(f));
+        }
+        Lit *
+        lits()
+        {
+            return reinterpret_cast<Lit *>(base + (learnt() ? 2 : 1));
+        }
+        const Lit *
+        lits() const
+        {
+            return reinterpret_cast<const Lit *>(base + (learnt() ? 2 : 1));
+        }
+        Lit &operator[](uint32_t i) { return lits()[i]; }
+        Lit operator[](uint32_t i) const { return lits()[i]; }
+    };
+
+    CRef allocClause(const std::vector<Lit> &lits, bool learnt);
+    ClauseRef clause(CRef ref) { return ClauseRef{arena_.data() + ref}; }
+
+    // --- Watches ----------------------------------------------------------
+    struct Watcher
+    {
+        CRef cref;
+        Lit blocker;
+    };
+
+    void attachClause(CRef ref);
+
+    // --- Assignment / trail -------------------------------------------------
+    LBool value(Lit l) const;
+    LBool value(Var v) const { return assigns_[v]; }
+    int decisionLevel() const { return static_cast<int>(trailLim_.size()); }
+    void uncheckedEnqueue(Lit l, CRef reason);
+    CRef propagate();
+    void cancelUntil(int level);
+
+    // --- Conflict analysis ----------------------------------------------------
+    void analyze(CRef conflict, std::vector<Lit> &out_learnt,
+                 int &out_btlevel);
+    void analyzeFinal(Lit p);
+    bool litRedundant(Lit l, uint32_t abstract_levels);
+
+    // --- Heuristics -----------------------------------------------------------
+    void varBumpActivity(Var v);
+    void varDecayActivity() { varInc_ *= (1.0 / 0.95); }
+    void claBumpActivity(ClauseRef c);
+    void claDecayActivity() { claInc_ *= (1.0 / 0.999); }
+    Var pickBranchVar();
+    void insertVarOrder(Var v);
+    void reduceDB();
+
+    // Indexed max-heap on var activity.
+    void heapDecrease(int pos);
+    void heapIncrease(int pos);
+    bool heapLess(Var a, Var b) const
+    {
+        return activity_[a] > activity_[b];
+    }
+
+    static uint64_t lubySequence(uint64_t i);
+
+    // --- Data -------------------------------------------------------------
+    std::vector<uint32_t> arena_;
+    std::vector<CRef> learnts_;
+    size_t numProblemClauses_ = 0;
+
+    std::vector<std::vector<Watcher>> watches_; // indexed by Lit::x
+    std::vector<LBool> assigns_;                // indexed by Var
+    std::vector<bool> polarity_;                // saved phases
+    std::vector<int> level_;
+    std::vector<CRef> reason_;
+    std::vector<Lit> trail_;
+    std::vector<int> trailLim_;
+    size_t qhead_ = 0;
+
+    std::vector<double> activity_;
+    double varInc_ = 1.0;
+    double claInc_ = 1.0;
+    std::vector<int> heap_;     // heap of vars
+    std::vector<int> heapPos_;  // var -> heap index or -1
+
+    std::vector<bool> seen_;
+    std::vector<Lit> analyzeToClear_;
+    std::vector<Lit> analyzeStack_;
+
+    std::vector<LBool> model_;
+    std::vector<Lit> conflict_;
+    bool ok_ = true;
+
+    double maxLearnts_ = 0;
+    SolverStats stats_;
+};
+
+} // namespace csl::sat
+
+#endif // CSL_SAT_SOLVER_H_

@@ -1,0 +1,80 @@
+#include "shadow/baseline_builder.h"
+
+#include "base/logging.h"
+#include "proc/isa_machine.h"
+#include "rtl/builder.h"
+
+namespace csl::shadow {
+
+using rtl::Builder;
+using rtl::Sig;
+
+BaselineHarness
+buildBaselineCircuit(rtl::Circuit &circuit, const proc::CoreSpec &spec,
+                     contract::Contract contract,
+                     bool assume_secrets_differ)
+{
+    Builder b(circuit);
+    BaselineHarness h;
+    const isa::IsaConfig &ic = spec.isaConfig();
+
+    // Four machines, free-running (no pausing in the baseline scheme).
+    h.isa1 = proc::buildIsaMachine(b, ic, "isa1");
+    h.isa2 = proc::buildIsaMachine(b, ic, "isa2");
+    h.cpu1 = proc::buildCore(b, spec, "cpu1");
+    h.cpu2 = proc::buildCore(b, spec, "cpu2");
+
+    // Program: identical across all four machines.
+    for (size_t i = 0; i < ic.imemSize; ++i) {
+        Sig w = h.isa1.imem->word(i);
+        b.assumeInit(b.eq(w, h.isa2.imem->word(i)));
+        b.assumeInit(b.eq(w, h.cpu1.imem->word(i)));
+        b.assumeInit(b.eq(w, h.cpu2.imem->word(i)));
+    }
+    // Data memory: each ISA machine mirrors its processor exactly;
+    // across the secret boundary only the public half must match.
+    for (size_t i = 0; i < ic.dmemSize; ++i) {
+        b.assumeInit(b.eq(h.isa1.dmem->word(i), h.cpu1.dmem->word(i)));
+        b.assumeInit(b.eq(h.isa2.dmem->word(i), h.cpu2.dmem->word(i)));
+        if (i < ic.secretStart())
+            b.assumeInit(
+                b.eq(h.cpu1.dmem->word(i), h.cpu2.dmem->word(i)));
+    }
+    if (assume_secrets_differ) {
+        std::vector<Sig> diffs;
+        for (size_t i = ic.secretStart(); i < ic.dmemSize; ++i)
+            diffs.push_back(
+                b.ne(h.cpu1.dmem->word(i), h.cpu2.dmem->word(i)));
+        b.assumeInit(b.orAll(diffs), "baseline.secretsDiffer");
+    }
+    // Registers: ISA machines mirror their processors; copies match.
+    for (size_t r = 0; r < h.cpu1.archRegs.size(); ++r) {
+        b.assumeInit(b.eq(h.isa1.archRegs[r], h.cpu1.archRegs[r]));
+        b.assumeInit(b.eq(h.isa2.archRegs[r], h.cpu2.archRegs[r]));
+        b.assumeInit(b.eq(h.cpu1.archRegs[r], h.cpu2.archRegs[r]));
+    }
+
+    // Contract constraint check: the single-cycle machines execute one
+    // instruction per cycle in lock-step, so their per-cycle ISA
+    // observations compare directly.
+    Sig obs1 = contract::isaObservation(b, h.isa1.commits[0], contract);
+    Sig obs2 = contract::isaObservation(b, h.isa2.commits[0], contract);
+    Sig isa_diff = b.named(b.ne(obs1, obs2), "baseline.isaDiff");
+    b.assume(b.notOf(isa_diff), "baseline.contractHolds");
+
+    // Leakage assertion check: per-cycle equality of the two processors'
+    // microarchitectural observations.
+    Sig one = b.one();
+    Sig uarch1 = contract::uarchObservation(b, h.cpu1, one);
+    Sig uarch2 = contract::uarchObservation(b, h.cpu2, one);
+    Sig uarch_diff = b.named(b.ne(uarch1, uarch2), "baseline.uarchDiff");
+    Sig bad = b.assertAlways(b.notOf(uarch_diff), "baseline.leak");
+
+    h.isaDiff = isa_diff.id;
+    h.uarchDiff = uarch_diff.id;
+    h.leak = bad.id;
+    b.finish();
+    return h;
+}
+
+} // namespace csl::shadow

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The baseline verification scheme (paper Section 4.1, Fig. 1a): four
+ * machines - two single-cycle ISA machines enforcing the contract
+ * constraint check and two copies of the target processor checked for
+ * microarchitectural trace equality, all in lock-step.
+ */
+
+#ifndef CSL_SHADOW_BASELINE_BUILDER_H_
+#define CSL_SHADOW_BASELINE_BUILDER_H_
+
+#include "contract/contract.h"
+#include "proc/core_ifc.h"
+#include "proc/presets.h"
+#include "rtl/circuit.h"
+
+namespace csl::shadow {
+
+/** Handles to the four-machine baseline circuit. */
+struct BaselineHarness
+{
+    proc::CoreIfc isa1, isa2; ///< single-cycle contract checkers
+    proc::CoreIfc cpu1, cpu2; ///< the processors under verification
+    rtl::NetId isaDiff = rtl::kNoNet;
+    rtl::NetId uarchDiff = rtl::kNoNet;
+    rtl::NetId leak = rtl::kNoNet;
+};
+
+/**
+ * Build the baseline scheme for @p spec into @p circuit (finalizes it).
+ * @p assume_secrets_differ mirrors ShadowOptions::assumeSecretsDiffer.
+ */
+BaselineHarness buildBaselineCircuit(rtl::Circuit &circuit,
+                                     const proc::CoreSpec &spec,
+                                     contract::Contract contract,
+                                     bool assume_secrets_differ = false);
+
+} // namespace csl::shadow
+
+#endif // CSL_SHADOW_BASELINE_BUILDER_H_

@@ -1,0 +1,310 @@
+#include "shadow/shadow_builder.h"
+
+#include "base/logging.h"
+#include "rtl/builder.h"
+
+namespace csl::shadow {
+
+using contract::Contract;
+using proc::CoreIfc;
+using rtl::Builder;
+using rtl::Sig;
+
+namespace {
+
+/**
+ * The commit skid buffer of one processor copy (paper Section 5.3): it
+ * holds ISA observations that have not yet been matched against the
+ * other copy. With pausing active its occupancy stays tiny, but the
+ * structure generically supports superscalar commit (several pushes per
+ * cycle) and the unsynchronized ablation (clamped occupancy).
+ */
+struct SkidFifo
+{
+    Sig count;              ///< register: stored, unmatched observations
+    std::vector<Sig> vals;  ///< registers: stored observation values
+    std::vector<Sig> ext;   ///< combinational: stored ++ pushed values
+    Sig len;                ///< combinational: count + pushes
+    int maxPush = 1;
+    int depth = 4;
+    int cntBits = 3;
+};
+
+SkidFifo
+makeFifo(Builder &b, const std::string &prefix, int obs_width, int max_push)
+{
+    SkidFifo fifo;
+    fifo.maxPush = max_push;
+    fifo.depth = 4 * max_push;
+    fifo.cntBits = bitsFor(fifo.depth + max_push + 1);
+    fifo.count = b.reg(prefix + ".count", fifo.cntBits, 0);
+    for (int j = 0; j < fifo.depth; ++j)
+        fifo.vals.push_back(
+            b.reg(prefix + ".v" + std::to_string(j), obs_width, 0));
+    return fifo;
+}
+
+/** Materialize the extended sequence (stored entries then pushes). */
+void
+extendFifo(Builder &b, SkidFifo &fifo, const std::vector<Sig> &push_valid,
+           const std::vector<Sig> &push_val)
+{
+    const int L = fifo.depth + fifo.maxPush;
+    fifo.ext.resize(L);
+    for (int k = 0; k < L; ++k) {
+        // Stored entry when k < count; otherwise push number (k - count).
+        Sig value = b.lit(0, push_val[0].width);
+        for (int j = fifo.maxPush - 1; j >= 0; --j) {
+            if (k - j < 0)
+                continue;
+            // count == k - j  =>  this slot is push j.
+            Sig sel = b.eqConst(fifo.count, uint64_t(k - j));
+            value = b.mux(sel, push_val[j], value);
+        }
+        if (k < fifo.depth) {
+            Sig stored = b.ult(b.lit(k, fifo.cntBits), fifo.count);
+            value = b.mux(stored, fifo.vals[k], value);
+        }
+        fifo.ext[k] = value;
+    }
+    Sig pushes = b.lit(0, fifo.cntBits);
+    for (int j = 0; j < fifo.maxPush; ++j)
+        pushes = b.add(pushes, b.resize(push_valid[j], fifo.cntBits));
+    fifo.len = b.add(fifo.count, pushes);
+}
+
+} // namespace
+
+ShadowHarness
+buildShadowCircuit(rtl::Circuit &circuit, const proc::CoreSpec &spec,
+                   const ShadowOptions &options)
+{
+    Builder b(circuit);
+    ShadowHarness h;
+    const isa::IsaConfig &ic = spec.isaConfig();
+
+    // --- Pause registers and the two gated processor copies -------------
+    Sig pause1 = b.reg("shadow.pause1", 1, 0);
+    Sig pause2 = b.reg("shadow.pause2", 1, 0);
+    Sig ce1 = b.notOf(pause1);
+    Sig ce2 = b.notOf(pause2);
+
+    b.pushClockGate(ce1);
+    h.cpu1 = proc::buildCore(b, spec, "cpu1");
+    b.popClockGate();
+    b.pushClockGate(ce2);
+    h.cpu2 = proc::buildCore(b, spec, "cpu2");
+    b.popClockGate();
+
+    // --- Initial-state constraints ----------------------------------------
+    // Identical programs.
+    for (size_t i = 0; i < ic.imemSize; ++i)
+        b.assumeInit(b.eq(h.cpu1.imem->word(i), h.cpu2.imem->word(i)));
+    // Identical public data; the secret region (upper half) is free.
+    for (size_t i = 0; i < ic.secretStart(); ++i)
+        b.assumeInit(b.eq(h.cpu1.dmem->word(i), h.cpu2.dmem->word(i)));
+    if (options.assumeSecretsDiffer) {
+        std::vector<Sig> diffs;
+        for (size_t i = ic.secretStart(); i < ic.dmemSize; ++i)
+            diffs.push_back(
+                b.ne(h.cpu1.dmem->word(i), h.cpu2.dmem->word(i)));
+        b.assumeInit(b.orAll(diffs), "shadow.secretsDiffer");
+    }
+    // Identical (symbolic) architectural registers.
+    for (size_t r = 0; r < h.cpu1.archRegs.size(); ++r)
+        b.assumeInit(b.eq(h.cpu1.archRegs[r], h.cpu2.archRegs[r]));
+
+    // --- UPEC-like speculation-source restriction -------------------------
+    if (options.restrictToBranchSpeculation) {
+        for (Sig e : h.cpu1.robException)
+            b.assume(b.notOf(e));
+        for (Sig e : h.cpu2.robException)
+            b.assume(b.notOf(e));
+    }
+    // --- Attack-exclusion iteration (paper Section 7.1.4) -------------------
+    if (options.excludeMisaligned) {
+        for (Sig e : h.cpu1.robMisaligned)
+            b.assume(b.notOf(e));
+        for (Sig e : h.cpu2.robMisaligned)
+            b.assume(b.notOf(e));
+    }
+    if (options.excludeOutOfRange) {
+        for (Sig e : h.cpu1.robOutOfRange)
+            b.assume(b.notOf(e));
+        for (Sig e : h.cpu2.robOutOfRange)
+            b.assume(b.notOf(e));
+    }
+
+    // --- Phase 1: microarchitectural trace comparison ----------------------
+    Sig uarch1 = contract::uarchObservation(b, h.cpu1, ce1);
+    Sig uarch2 = contract::uarchObservation(b, h.cpu2, ce2);
+    Sig uarch_diff = b.named(b.ne(uarch1, uarch2), "shadow.uarchDiff");
+
+    Sig phase2_reg = b.reg("shadow.phase2", 1, 0);
+    Sig diverge_now = b.andOf(b.notOf(phase2_reg), uarch_diff);
+    Sig phase2_next = b.orOf(phase2_reg, uarch_diff);
+    b.connect(phase2_reg, phase2_next);
+
+    // --- Instruction inclusion: pre-divergence ROB masks --------------------
+    auto make_prediv = [&](const CoreIfc &cpu, const std::string &prefix) {
+        std::vector<Sig> mask;
+        for (size_t i = 0; i < cpu.robValid.size(); ++i) {
+            Sig bit = b.reg(prefix + std::to_string(i), 1, 0);
+            b.connect(bit, b.mux(diverge_now, cpu.robValid[i],
+                                 b.andOf(bit, cpu.robValid[i])));
+            mask.push_back(bit);
+        }
+        return mask;
+    };
+    auto mask1 = make_prediv(h.cpu1, "shadow.preDiv1.");
+    auto mask2 = make_prediv(h.cpu2, "shadow.preDiv2.");
+    std::vector<Sig> all_mask = mask1;
+    all_mask.insert(all_mask.end(), mask2.begin(), mask2.end());
+    Sig drained = b.named(b.notOf(b.orAll(all_mask)), "shadow.drained");
+
+    // --- ISA trace extraction and alignment --------------------------------
+    const int max_push = static_cast<int>(h.cpu1.commits.size());
+    std::vector<Sig> pv1, px1, pv2, px2;
+    for (int k = 0; k < max_push; ++k) {
+        pv1.push_back(b.andOf(h.cpu1.commits[k].valid, ce1));
+        px1.push_back(
+            contract::isaObservation(b, h.cpu1.commits[k],
+                                     options.contract));
+        pv2.push_back(b.andOf(h.cpu2.commits[k].valid, ce2));
+        px2.push_back(
+            contract::isaObservation(b, h.cpu2.commits[k],
+                                     options.contract));
+    }
+    const int obs_width = px1[0].width;
+    SkidFifo f1 = makeFifo(b, "shadow.fifo1", obs_width, max_push);
+    SkidFifo f2 = makeFifo(b, "shadow.fifo2", obs_width, max_push);
+    extendFifo(b, f1, pv1, px1);
+    extendFifo(b, f2, pv2, px2);
+
+    // Matched pairs this cycle; at most one side holds stored items, so
+    // m never exceeds the push width.
+    Sig m = b.mux(b.ult(f1.len, f2.len), f1.len, f2.len);
+    std::vector<Sig> diffs;
+    for (int k = 0; k < max_push; ++k) {
+        Sig compared = b.ult(b.lit(k, f1.cntBits), m);
+        diffs.push_back(b.andOf(compared, b.ne(f1.ext[k], f2.ext[k])));
+    }
+    Sig isa_diff = b.named(b.orAll(diffs), "shadow.isaDiff");
+
+    auto advance_fifo = [&](SkidFifo &fifo) {
+        Sig new_count = b.sub(fifo.len, m);
+        // Clamp for the no-pause ablation (overflow drops observations;
+        // with pausing enabled occupancy provably stays below depth).
+        Sig overflow =
+            b.ult(b.lit(fifo.depth, fifo.cntBits), new_count);
+        new_count = b.mux(overflow, b.lit(fifo.depth, fifo.cntBits),
+                          new_count);
+        b.connect(fifo.count, new_count);
+        for (int j = 0; j < fifo.depth; ++j) {
+            // vals[j] <- ext[j + m]
+            Sig shifted = fifo.ext[j]; // m == 0
+            for (int mm = 1; mm <= fifo.maxPush; ++mm) {
+                if (j + mm >= static_cast<int>(fifo.ext.size()))
+                    break;
+                shifted = b.mux(b.eqConst(m, mm), fifo.ext[j + mm],
+                                shifted);
+            }
+            b.connect(fifo.vals[j], shifted);
+        }
+        return new_count;
+    };
+    Sig new_count1 = advance_fifo(f1);
+    Sig new_count2 = advance_fifo(f2);
+
+    // --- Synchronization: pause whichever copy runs ahead -------------------
+    if (options.enablePause) {
+        Sig in_phase2 = phase2_next;
+        b.connect(pause1,
+                  b.andOf(in_phase2,
+                          b.ne(new_count1, b.lit(0, f1.cntBits))));
+        b.connect(pause2,
+                  b.andOf(in_phase2,
+                          b.ne(new_count2, b.lit(0, f2.cntBits))));
+    } else {
+        b.connect(pause1, b.zero());
+        b.connect(pause2, b.zero());
+    }
+    h.pause1 = pause1.id;
+    h.pause2 = pause2.id;
+
+    // --- Contract constraint check (assume) --------------------------------
+    b.assume(b.notOf(isa_diff), "shadow.contractHolds");
+
+    // --- Leakage assertion ---------------------------------------------------
+    Sig fifos_empty = b.andOf(b.eqConst(f1.count, 0),
+                              b.eqConst(f2.count, 0));
+    Sig leak_cond = phase2_reg;
+    if (options.enableDrainCheck)
+        leak_cond = b.andAll({phase2_reg, drained, fifos_empty});
+    Sig bad = b.assertAlways(b.notOf(leak_cond), "shadow.leak");
+
+    h.phase2 = phase2_reg.id;
+    h.drained = drained.id;
+    h.isaDiff = isa_diff.id;
+    h.uarchDiff = uarch_diff.id;
+    h.leak = bad.id;
+
+    // --- Relational candidate invariants for the proof pipeline -------------
+    if (options.emitRelationalCandidates) {
+        auto add = [&](Sig cand, const std::string &name = "") {
+            if (!name.empty() && circuit.findByName(name) == rtl::kNoNet)
+                circuit.setName(cand.id, name);
+            h.relationalCandidates.push_back(cand.id);
+        };
+        // Twin-register equalities across the two copies (covers the
+        // instruction memories, public data memory, pc, rename tables,
+        // ROB bookkeeping, ...; candidates on secret words and on
+        // transiently-differing fields die in the Houdini pruning).
+        const rtl::Circuit &c = circuit;
+        for (rtl::NetId reg : c.registers()) {
+            std::string name = c.name(reg);
+            if (name.rfind("cpu1.", 0) != 0)
+                continue;
+            rtl::NetId twin = c.findByName("cpu2." + name.substr(5));
+            if (twin == rtl::kNoNet)
+                continue;
+            int width = c.net(reg).width;
+            add(b.eq(Sig{reg, width}, Sig{twin, width}),
+                "cand.eq." + name.substr(5));
+        }
+        // Core-provided guarded hints.
+        size_t hints = std::min(h.cpu1.fwdHints.size(),
+                                h.cpu2.fwdHints.size());
+        for (size_t k = 0; k < hints; ++k) {
+            const auto &h1 = h.cpu1.fwdHints[k];
+            const auto &h2 = h.cpu2.fwdHints[k];
+            add(b.eq(h1.guard, h2.guard),
+                "cand.hintGuard." + std::to_string(k));
+            add(b.implies(b.andOf(h1.guard, h2.guard),
+                          b.eq(h1.value, h2.value)),
+                "cand.hintVal." + std::to_string(k));
+        }
+        // Single-copy structural invariants from both cores.
+        for (size_t k = 0; k < h.cpu1.structuralInvariants.size(); ++k)
+            add(h.cpu1.structuralInvariants[k],
+                "cand.struct1." + std::to_string(k));
+        for (size_t k = 0; k < h.cpu2.structuralInvariants.size(); ++k)
+            add(h.cpu2.structuralInvariants[k],
+                "cand.struct2." + std::to_string(k));
+        // Shadow machinery quiescent (secure designs never diverge).
+        Sig quiescent = b.notOf(phase2_reg);
+        add(quiescent, "cand.noPhase2");
+        h.quiescentCandidate = quiescent.id;
+        add(b.notOf(pause1), "cand.noPause1");
+        add(b.notOf(pause2), "cand.noPause2");
+        add(b.eqConst(f1.count, 0), "cand.fifo1Empty");
+        add(b.eqConst(f2.count, 0), "cand.fifo2Empty");
+        for (size_t i = 0; i < all_mask.size(); ++i)
+            add(b.notOf(all_mask[i]), "cand.noPreDiv" + std::to_string(i));
+    }
+
+    b.finish();
+    return h;
+}
+
+} // namespace csl::shadow

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Contract Shadow Logic (paper Section 5) - the repository's namesake.
+ *
+ * Composes two copies of a processor with shadow logic that
+ *  1. extracts ISA observation traces from the commit stage (Section 5.1),
+ *  2. latches the first microarchitectural trace divergence (phase 1),
+ *  3. enforces the *instruction inclusion requirement* by snapshotting
+ *     the ROB occupancy at divergence and tracking it until drained
+ *     (Section 5.2.1),
+ *  4. enforces the *synchronization requirement* by pausing the clock of
+ *     whichever copy runs ahead in committed instructions, realigning the
+ *     extracted ISA traces (Section 5.2.2), with skid buffers that also
+ *     handle superscalar commit (Section 5.3, "Supporting Superscalar
+ *     Processors"),
+ *  5. emits `assume(isa_diff == 0)` and
+ *     `assert(!(uarch_diff_phase1 && drained))` (Listing 1).
+ *
+ * The two requirements can be disabled individually for the ablation
+ * experiments (disabling either admits spurious counterexamples).
+ */
+
+#ifndef CSL_SHADOW_SHADOW_BUILDER_H_
+#define CSL_SHADOW_SHADOW_BUILDER_H_
+
+#include <string>
+
+#include "contract/contract.h"
+#include "proc/core_ifc.h"
+#include "proc/presets.h"
+#include "rtl/circuit.h"
+
+namespace csl::shadow {
+
+/** Shadow-logic construction options. */
+struct ShadowOptions
+{
+    contract::Contract contract = contract::Contract::Sandboxing;
+    /**
+     * UPEC-like mode: assume no instruction ever raises an exception,
+     * restricting the speculation source to branch misprediction (models
+     * UPEC's user-specified-source limitation, paper Section 7.1.4).
+     */
+    bool restrictToBranchSpeculation = false;
+    /** Ablation: disable the synchronization (pause) machinery. */
+    bool enablePause = true;
+    /** Ablation: disable the instruction-inclusion (drain) check. */
+    bool enableDrainCheck = true;
+    /**
+     * Extra assumption requiring the two secret regions to differ in at
+     * least one word. Sound for attack search (a leak needs differing
+     * secrets); the schemes enable it only in attack-focused runs.
+     */
+    bool assumeSecretsDiffer = false;
+    /**
+     * Attack-exclusion assumptions for the iterative search of paper
+     * Section 7.1.4: forbid programs whose memory instructions use
+     * misaligned / out-of-range addresses.
+     */
+    bool excludeMisaligned = false;
+    bool excludeOutOfRange = false;
+    /**
+     * Emit relational candidate invariants (twin-register equalities,
+     * core-provided guarded hints, shadow-state-quiescent predicates)
+     * into ShadowHarness::relationalCandidates for the proof pipeline.
+     */
+    bool emitRelationalCandidates = false;
+};
+
+/** Handles to the composed verification circuit. */
+struct ShadowHarness
+{
+    proc::CoreIfc cpu1;
+    proc::CoreIfc cpu2;
+    rtl::NetId phase2 = rtl::kNoNet;    ///< uarch_diff_phase1 register
+    rtl::NetId drained = rtl::kNoNet;   ///< pre-divergence ROBs drained
+    rtl::NetId isaDiff = rtl::kNoNet;   ///< contract constraint violation
+    rtl::NetId uarchDiff = rtl::kNoNet; ///< per-cycle uarch trace diff
+    rtl::NetId pause1 = rtl::kNoNet;
+    rtl::NetId pause2 = rtl::kNoNet;
+    rtl::NetId leak = rtl::kNoNet;      ///< the bad (assertion) net
+    /** Candidate invariants (when requested via ShadowOptions). */
+    std::vector<rtl::NetId> relationalCandidates;
+    /**
+     * The `!phase2` quiescence candidate: when it survives the Houdini
+     * pruning, divergence is unreachable and the property follows
+     * 1-inductively. The proof pipeline uses it to decide whether a
+     * wider invariant window is worth escalating to.
+     */
+    rtl::NetId quiescentCandidate = rtl::kNoNet;
+};
+
+/**
+ * Build the two-copy Contract Shadow Logic verification circuit for
+ * @p spec into @p circuit (finalizes it).
+ */
+ShadowHarness buildShadowCircuit(rtl::Circuit &circuit,
+                                 const proc::CoreSpec &spec,
+                                 const ShadowOptions &options);
+
+} // namespace csl::shadow
+
+#endif // CSL_SHADOW_SHADOW_BUILDER_H_

@@ -1,0 +1,141 @@
+#include "sim/simulator.h"
+
+#include "base/bits.h"
+#include "base/logging.h"
+
+namespace csl::sim {
+
+using rtl::Net;
+using rtl::NetId;
+using rtl::Op;
+
+Simulator::Simulator(const rtl::Circuit &circuit) : circuit_(circuit)
+{
+    csl_assert(circuit.finalized(), "simulate requires a finalized circuit");
+    values_.resize(circuit.numNets(), 0);
+    state_.resize(circuit.numNets(), 0);
+    reset();
+}
+
+void
+Simulator::reset()
+{
+    reset({});
+}
+
+void
+Simulator::reset(const std::unordered_map<NetId, uint64_t> &init_values)
+{
+    cycle_ = 0;
+    evaluated_ = false;
+    for (NetId reg : circuit_.registers()) {
+        const Net &n = circuit_.net(reg);
+        uint64_t v = n.symbolicInit ? 0 : n.imm;
+        auto it = init_values.find(reg);
+        if (it != init_values.end())
+            v = it->second;
+        state_[reg] = truncBits(v, n.width);
+    }
+}
+
+void
+Simulator::evaluate(const std::unordered_map<NetId, uint64_t> &inputs)
+{
+    const NetId count = static_cast<NetId>(circuit_.numNets());
+    for (NetId id = 0; id < count; ++id) {
+        const Net &n = circuit_.net(id);
+        uint64_t v = 0;
+        switch (n.op) {
+          case Op::Const:
+            v = n.imm;
+            break;
+          case Op::Input: {
+            auto it = inputs.find(id);
+            v = it == inputs.end() ? 0 : truncBits(it->second, n.width);
+            break;
+          }
+          case Op::Reg:
+            v = state_[id];
+            break;
+          case Op::Not:
+            v = ~values_[n.a];
+            break;
+          case Op::And:
+            v = values_[n.a] & values_[n.b];
+            break;
+          case Op::Or:
+            v = values_[n.a] | values_[n.b];
+            break;
+          case Op::Xor:
+            v = values_[n.a] ^ values_[n.b];
+            break;
+          case Op::Mux:
+            v = values_[n.a] ? values_[n.b] : values_[n.c];
+            break;
+          case Op::Add:
+            v = values_[n.a] + values_[n.b];
+            break;
+          case Op::Sub:
+            v = values_[n.a] - values_[n.b];
+            break;
+          case Op::Mul:
+            v = values_[n.a] * values_[n.b];
+            break;
+          case Op::Eq:
+            v = values_[n.a] == values_[n.b];
+            break;
+          case Op::Ult:
+            v = values_[n.a] < values_[n.b];
+            break;
+          case Op::Concat:
+            v = (values_[n.a] << circuit_.net(n.b).width) | values_[n.b];
+            break;
+          case Op::Slice:
+            v = values_[n.a] >> n.imm;
+            break;
+        }
+        values_[id] = truncBits(v, n.width);
+    }
+    evaluated_ = true;
+}
+
+void
+Simulator::tick()
+{
+    csl_assert(evaluated_, "tick() before evaluate()");
+    for (NetId reg : circuit_.registers()) {
+        const Net &n = circuit_.net(reg);
+        state_[reg] = values_[n.a];
+    }
+    ++cycle_;
+    evaluated_ = false;
+}
+
+bool
+Simulator::constraintsHold() const
+{
+    for (NetId id : circuit_.constraints())
+        if (!values_[id])
+            return false;
+    return true;
+}
+
+bool
+Simulator::initConstraintsHold() const
+{
+    for (NetId id : circuit_.initConstraints())
+        if (!values_[id])
+            return false;
+    return true;
+}
+
+bool
+Simulator::anyBad() const
+{
+    for (NetId id : circuit_.bads())
+        if (values_[id])
+            return true;
+    return false;
+}
+
+} // namespace csl::sim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cycle-accurate interpreter for the RTL IR - the library's Verilator
+ * analog. Used by the tandem functional tests, the differential fuzzer,
+ * and to replay model-checker counterexamples as concrete waveforms.
+ */
+
+#ifndef CSL_SIM_SIMULATOR_H_
+#define CSL_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rtl/circuit.h"
+
+namespace csl::sim {
+
+/**
+ * Interprets a finalized Circuit cycle by cycle.
+ *
+ * Net ids are a valid combinational evaluation order by construction
+ * (only registers may reference later nets), so each cycle is a single
+ * linear sweep followed by a register update.
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(const rtl::Circuit &circuit);
+
+    /** Reset registers to initial values; symbolic registers get 0. */
+    void reset();
+
+    /**
+     * Reset with explicit values for symbolic-init registers (and
+     * optionally overriding concrete ones). Keys are register net ids.
+     */
+    void reset(const std::unordered_map<rtl::NetId, uint64_t> &init_values);
+
+    /**
+     * Evaluate combinational logic for the current cycle with the given
+     * input values (keyed by input net id; missing inputs read as 0).
+     * After this, value() returns this cycle's settled values.
+     */
+    void evaluate(const std::unordered_map<rtl::NetId, uint64_t> &inputs = {});
+
+    /** Latch register next-states; call after evaluate() to end a cycle. */
+    void tick();
+
+    /** evaluate() + tick() in one call. */
+    void
+    step(const std::unordered_map<rtl::NetId, uint64_t> &inputs = {})
+    {
+        evaluate(inputs);
+        tick();
+    }
+
+    /** Settled value of @p net for the cycle last evaluated. */
+    uint64_t value(rtl::NetId net) const { return values_[net]; }
+
+    /** True when every constraint net evaluated to 1 this cycle. */
+    bool constraintsHold() const;
+
+    /** True when every init-constraint net evaluated to 1 (cycle 0). */
+    bool initConstraintsHold() const;
+
+    /** True when any bad net evaluated to 1 this cycle. */
+    bool anyBad() const;
+
+    /** Number of completed ticks since the last reset. */
+    uint64_t cycle() const { return cycle_; }
+
+  private:
+    const rtl::Circuit &circuit_;
+    std::vector<uint64_t> values_;   ///< per-net settled values
+    std::vector<uint64_t> state_;    ///< register file, indexed like values_
+    uint64_t cycle_ = 0;
+    bool evaluated_ = false;
+};
+
+} // namespace csl::sim
+
+#endif // CSL_SIM_SIMULATOR_H_

@@ -1,0 +1,80 @@
+#include "sim/vcd.h"
+
+#include "base/bits.h"
+
+namespace csl::sim {
+
+namespace {
+
+/** VCD identifier codes: printable ASCII strings, base-94. */
+std::string
+vcdCode(size_t index)
+{
+    std::string code;
+    do {
+        code.push_back(static_cast<char>('!' + index % 94));
+        index /= 94;
+    } while (index > 0);
+    return code;
+}
+
+/** Binary rendering of @p value at @p width bits. */
+std::string
+binary(uint64_t value, int width)
+{
+    std::string s(width, '0');
+    for (int i = 0; i < width; ++i)
+        if (bitAt(value, i))
+            s[width - 1 - i] = '1';
+    return s;
+}
+
+} // namespace
+
+VcdWriter::VcdWriter(std::ostream &os, const rtl::Circuit &circuit,
+                     std::vector<rtl::NetId> nets)
+    : os_(os), circuit_(circuit), nets_(std::move(nets))
+{
+    if (nets_.empty()) {
+        for (rtl::NetId id = 0;
+             id < static_cast<rtl::NetId>(circuit_.numNets()); ++id) {
+            // "Named" nets are the interesting ones; generated names
+            // contain '#'.
+            if (circuit_.name(id).find('#') == std::string::npos)
+                nets_.push_back(id);
+        }
+    }
+    os_ << "$timescale 1ns $end\n$scope module top $end\n";
+    codes_.reserve(nets_.size());
+    last_.assign(nets_.size(), 0);
+    for (size_t i = 0; i < nets_.size(); ++i) {
+        codes_.push_back(vcdCode(i));
+        std::string name = circuit_.name(nets_[i]);
+        for (char &ch : name)
+            if (ch == ' ')
+                ch = '_';
+        os_ << "$var wire " << int(circuit_.net(nets_[i]).width) << " "
+            << codes_[i] << " " << name << " $end\n";
+    }
+    os_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void
+VcdWriter::sample(const Simulator &sim)
+{
+    os_ << "#" << time_++ << "\n";
+    for (size_t i = 0; i < nets_.size(); ++i) {
+        uint64_t v = sim.value(nets_[i]);
+        if (!first_ && v == last_[i])
+            continue;
+        last_[i] = v;
+        int width = circuit_.net(nets_[i]).width;
+        if (width == 1)
+            os_ << (v ? '1' : '0') << codes_[i] << "\n";
+        else
+            os_ << "b" << binary(v, width) << " " << codes_[i] << "\n";
+    }
+    first_ = false;
+}
+
+} // namespace csl::sim

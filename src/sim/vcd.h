@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal VCD (value change dump) writer so simulations and replayed
+ * counterexample traces can be inspected in a standard waveform viewer.
+ */
+
+#ifndef CSL_SIM_VCD_H_
+#define CSL_SIM_VCD_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rtl/circuit.h"
+#include "sim/simulator.h"
+
+namespace csl::sim {
+
+/** Streams selected nets of a running simulation into VCD format. */
+class VcdWriter
+{
+  public:
+    /**
+     * @param os       output stream (kept by reference; must outlive this)
+     * @param circuit  the circuit being simulated
+     * @param nets     nets to dump; empty means "all named nets"
+     */
+    VcdWriter(std::ostream &os, const rtl::Circuit &circuit,
+              std::vector<rtl::NetId> nets = {});
+
+    /** Record the simulator's settled values for the current cycle. */
+    void sample(const Simulator &sim);
+
+  private:
+    std::ostream &os_;
+    const rtl::Circuit &circuit_;
+    std::vector<rtl::NetId> nets_;
+    std::vector<std::string> codes_;
+    std::vector<uint64_t> last_;
+    uint64_t time_ = 0;
+    bool first_ = true;
+};
+
+} // namespace csl::sim
+
+#endif // CSL_SIM_VCD_H_

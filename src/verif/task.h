@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The library's top-level public API: describe a verification task
+ * (processor x contract x scheme x budget), run it, and get a verdict
+ * with a decoded attack program when one is found.
+ *
+ * This is the workflow of paper Section 6: instantiate two copies with
+ * symbolic instruction memories, constrain equal initial state modulo
+ * the secret region, assume the contract constraint check, and model
+ * check the leakage assertion.
+ */
+
+#ifndef CSL_VERIF_TASK_H_
+#define CSL_VERIF_TASK_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "contract/contract.h"
+#include "mc/portfolio.h"
+#include "proc/presets.h"
+
+namespace csl::verif {
+
+/** Which verification scheme to apply. */
+enum class Scheme {
+    ContractShadow, ///< the paper's contribution (two machines + shadow)
+    Baseline,       ///< four-machine scheme (Fig. 1a)
+    UpecLike,       ///< shadow scheme restricted to branch speculation
+    Leave,          ///< LEAVE-style invariant search
+    Fuzz,           ///< differential fuzzing comparator
+};
+
+const char *schemeName(Scheme scheme);
+
+/** A full verification task description. */
+struct VerificationTask
+{
+    proc::CoreSpec core;
+    contract::Contract contract = contract::Contract::Sandboxing;
+    Scheme scheme = Scheme::ContractShadow;
+
+    /** Engine limits (maxDepth doubles as BMC bound and induction k). */
+    size_t maxDepth = 24;
+    double timeoutSeconds = 600.0;
+    /** Skip the proof engine (attack hunting only). */
+    bool tryProof = true;
+    /**
+     * Automatic relational strengthening before induction: Houdini-prune
+     * the shadow builder's candidate invariants and assume the survivors
+     * in the induction step. This is the ingredient that lets unbounded
+     * proofs close (stands in for the invariant discovery inside a
+     * commercial proof engine); disabled for the Baseline scheme, whose
+     * four-machine product needs refinement-map invariants that the
+     * relational template family cannot express - the redundancy the
+     * paper's scheme eliminates.
+     */
+    bool autoStrengthen = true;
+    /**
+     * Induction window for the invariant search (see
+     * mc::proveInductiveInvariants). 0 = automatic: wide enough that a
+     * bound-to-commit instruction's commit - whose contract check
+     * excuses transiently differing state - falls inside the window
+     * (roughly two ROB drain times).
+     */
+    size_t strengthenWindow = 0;
+    /** Constrain the two secret regions to differ (attack hunting). */
+    bool assumeSecretsDiffer = false;
+    /** Ablation switches forwarded to the shadow builder. */
+    bool enablePause = true;
+    bool enableDrainCheck = true;
+    /**
+     * Attack-exclusion assumptions for the iterative search of paper
+     * Section 7.1.4 (forbid misaligned / out-of-range memory programs).
+     */
+    bool excludeMisaligned = false;
+    bool excludeOutOfRange = false;
+};
+
+/** Uniform result across schemes. */
+struct VerificationResult
+{
+    /** ATTACK / PROOF / BOUNDED-SAFE / TIMEOUT; LEAVE's UNKNOWN maps to
+     * BOUNDED-SAFE with detail "UNKNOWN". */
+    mc::Verdict verdict = mc::Verdict::Timeout;
+    double seconds = 0;
+    size_t depth = 0;
+    uint64_t conflicts = 0;
+    /** Attack verdicts: the disassembled program + secret witness. */
+    std::string attackReport;
+    /** Scheme-specific notes (e.g. LEAVE survivor counts). */
+    std::string detail;
+};
+
+/** Run a task to completion (respecting its budget). */
+VerificationResult runVerification(const VerificationTask &task);
+
+/** One-line rendering for tables. */
+std::string formatResult(const VerificationResult &result);
+
+} // namespace csl::verif
+
+#endif // CSL_VERIF_TASK_H_

@@ -1,0 +1,101 @@
+// Unit tests for src/base utilities.
+
+#include <gtest/gtest.h>
+
+#include "base/bits.h"
+#include "base/budget.h"
+#include "base/stopwatch.h"
+
+namespace csl {
+namespace {
+
+TEST(Bits, MaskBits)
+{
+    EXPECT_EQ(maskBits(0), 0u);
+    EXPECT_EQ(maskBits(1), 1u);
+    EXPECT_EQ(maskBits(4), 0xfu);
+    EXPECT_EQ(maskBits(63), 0x7fffffffffffffffull);
+    EXPECT_EQ(maskBits(64), ~0ull);
+}
+
+TEST(Bits, TruncBits)
+{
+    EXPECT_EQ(truncBits(0xff, 4), 0xfu);
+    EXPECT_EQ(truncBits(0x10, 4), 0u);
+    EXPECT_EQ(truncBits(0xdeadbeef, 64), 0xdeadbeefull);
+}
+
+TEST(Bits, BitAt)
+{
+    EXPECT_TRUE(bitAt(0b100, 2));
+    EXPECT_FALSE(bitAt(0b100, 1));
+}
+
+TEST(Bits, BitsFor)
+{
+    EXPECT_EQ(bitsFor(1), 1);
+    EXPECT_EQ(bitsFor(2), 1);
+    EXPECT_EQ(bitsFor(3), 2);
+    EXPECT_EQ(bitsFor(4), 2);
+    EXPECT_EQ(bitsFor(5), 3);
+    EXPECT_EQ(bitsFor(8), 3);
+    EXPECT_EQ(bitsFor(9), 4);
+}
+
+TEST(Bits, IsPowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(6));
+}
+
+TEST(Budget, UnlimitedNeverExhausts)
+{
+    Budget budget;
+    for (int i = 0; i < 10000; ++i)
+        budget.charge();
+    EXPECT_FALSE(budget.exhausted());
+}
+
+TEST(Budget, WorkLimit)
+{
+    Budget budget(1e9, 10);
+    for (int i = 0; i < 10; ++i)
+        budget.charge();
+    EXPECT_FALSE(budget.exhausted());
+    budget.charge();
+    EXPECT_TRUE(budget.exhausted());
+}
+
+TEST(Budget, TimeLimitEventuallyTrips)
+{
+    Budget budget(0.0);
+    // The clock is only sampled every 1024 checks.
+    bool tripped = false;
+    for (int i = 0; i < 5000 && !tripped; ++i)
+        tripped = budget.exhausted();
+    EXPECT_TRUE(tripped);
+}
+
+TEST(Stopwatch, FormatSeconds)
+{
+    EXPECT_EQ(formatSeconds(0.5), "500ms");
+    EXPECT_EQ(formatSeconds(2.0), "2.00s");
+    EXPECT_EQ(formatSeconds(600.0), "10.0min");
+    EXPECT_EQ(formatSeconds(7200.0), "2.0h");
+}
+
+TEST(Stopwatch, MonotoneElapsed)
+{
+    Stopwatch watch;
+    double t0 = watch.seconds();
+    double t1 = watch.seconds();
+    EXPECT_GE(t1, t0);
+    EXPECT_GE(t0, 0.0);
+}
+
+} // namespace
+} // namespace csl

@@ -1,0 +1,187 @@
+// Tests of the contract observation functions: field masking, width, and
+// sensitivity to exactly the contract-relevant signals.
+
+#include <gtest/gtest.h>
+
+#include "contract/contract.h"
+#include "rtl/builder.h"
+#include "sim/simulator.h"
+
+namespace csl::contract {
+namespace {
+
+using rtl::Builder;
+using rtl::Circuit;
+using rtl::Sig;
+
+/** Build a synthetic commit slot driven by inputs. */
+struct SlotRig
+{
+    Circuit circuit;
+    proc::CommitSlot slot;
+    rtl::NetId sandbox, ct;
+
+    SlotRig()
+    {
+        Builder b(circuit);
+        slot.valid = b.input("valid", 1);
+        slot.exception = b.input("exc", 1);
+        slot.isLoad = b.input("isLoad", 1);
+        slot.isStore = b.input("isStore", 1);
+        slot.isBranch = b.input("isBranch", 1);
+        slot.isMul = b.input("isMul", 1);
+        slot.writesReg = b.input("writesReg", 1);
+        slot.wdata = b.input("wdata", 4);
+        slot.addr = b.input("addr", 4);
+        slot.taken = b.input("taken", 1);
+        slot.opA = b.input("opA", 4);
+        slot.opB = b.input("opB", 4);
+        Sig sb = isaObservation(b, slot, Contract::Sandboxing);
+        Sig c = isaObservation(b, slot, Contract::ConstantTime);
+        // Anchor in the cone.
+        b.assertAlways(b.orOf(b.redOr(sb), b.notOf(b.redOr(sb))));
+        b.assertAlways(b.orOf(b.redOr(c), b.notOf(b.redOr(c))));
+        sandbox = sb.id;
+        ct = c.id;
+        b.finish();
+    }
+};
+
+uint64_t
+observe(SlotRig &rig, rtl::NetId which,
+        std::unordered_map<rtl::NetId, uint64_t> inputs)
+{
+    sim::Simulator s(rig.circuit);
+    s.evaluate(inputs);
+    return s.value(which);
+}
+
+TEST(ContractObs, SandboxingSensitiveToLoadData)
+{
+    SlotRig rig;
+    auto base = [&](uint64_t wdata) {
+        return observe(rig, rig.sandbox,
+                       {{rig.slot.isLoad.id, 1},
+                        {rig.slot.writesReg.id, 1},
+                        {rig.slot.wdata.id, wdata}});
+    };
+    EXPECT_NE(base(3), base(4));
+    EXPECT_EQ(base(3), base(3));
+}
+
+TEST(ContractObs, SandboxingMasksNonLoadData)
+{
+    SlotRig rig;
+    // A non-load's writeback data must not show up.
+    auto alu = [&](uint64_t wdata) {
+        return observe(rig, rig.sandbox,
+                       {{rig.slot.writesReg.id, 1},
+                        {rig.slot.wdata.id, wdata}});
+    };
+    EXPECT_EQ(alu(3), alu(12));
+}
+
+TEST(ContractObs, SandboxingIgnoresAddresses)
+{
+    SlotRig rig;
+    auto ld = [&](uint64_t addr) {
+        return observe(rig, rig.sandbox,
+                       {{rig.slot.isLoad.id, 1},
+                        {rig.slot.writesReg.id, 1},
+                        {rig.slot.wdata.id, 7},
+                        {rig.slot.addr.id, addr}});
+    };
+    EXPECT_EQ(ld(0), ld(9));
+}
+
+TEST(ContractObs, ConstantTimeSensitiveToAddressNotData)
+{
+    SlotRig rig;
+    auto ld = [&](uint64_t addr, uint64_t wdata) {
+        return observe(rig, rig.ct,
+                       {{rig.slot.isLoad.id, 1},
+                        {rig.slot.writesReg.id, 1},
+                        {rig.slot.wdata.id, wdata},
+                        {rig.slot.addr.id, addr}});
+    };
+    EXPECT_NE(ld(1, 7), ld(2, 7)) << "address must be observed";
+    EXPECT_EQ(ld(1, 7), ld(1, 9)) << "loaded data must not be observed";
+}
+
+TEST(ContractObs, ConstantTimeSensitiveToBranchCondition)
+{
+    SlotRig rig;
+    auto br = [&](uint64_t taken) {
+        return observe(rig, rig.ct,
+                       {{rig.slot.isBranch.id, 1},
+                        {rig.slot.taken.id, taken}});
+    };
+    EXPECT_NE(br(0), br(1));
+}
+
+TEST(ContractObs, ConstantTimeSensitiveToMulOperands)
+{
+    SlotRig rig;
+    auto mul = [&](uint64_t a, uint64_t b2) {
+        return observe(rig, rig.ct,
+                       {{rig.slot.isMul.id, 1},
+                        {rig.slot.opA.id, a},
+                        {rig.slot.opB.id, b2}});
+    };
+    EXPECT_NE(mul(2, 3), mul(3, 2));
+    EXPECT_EQ(mul(2, 3), mul(2, 3));
+    // Operands of non-MUL instructions are masked.
+    auto alu = [&](uint64_t a) {
+        return observe(rig, rig.ct, {{rig.slot.opA.id, a}});
+    };
+    EXPECT_EQ(alu(2), alu(9));
+}
+
+TEST(ContractObs, ExceptionVisibleInBoth)
+{
+    SlotRig rig;
+    for (auto which : {rig.sandbox, rig.ct}) {
+        auto with_exc = observe(rig, which,
+                                {{rig.slot.isLoad.id, 1},
+                                 {rig.slot.exception.id, 1}});
+        auto without = observe(rig, which, {{rig.slot.isLoad.id, 1}});
+        EXPECT_NE(with_exc, without);
+    }
+}
+
+TEST(ContractObs, UarchIncludesBusAndCommitTiming)
+{
+    Circuit circuit;
+    Builder b(circuit);
+    proc::CoreIfc core;
+    core.memBusValid = b.input("busValid", 1);
+    core.memBusAddr = b.input("busAddr", 4);
+    proc::CommitSlot slot;
+    slot.valid = b.input("commit", 1);
+    core.commits.push_back(slot);
+    Sig obs = uarchObservation(b, core, b.one());
+    rtl::NetId obs_id = obs.id;
+    b.assertAlways(b.orOf(b.redOr(obs), b.notOf(b.redOr(obs))));
+    b.finish();
+
+    sim::Simulator s(circuit);
+    auto val = [&](uint64_t bv, uint64_t ba, uint64_t cm) {
+        s.evaluate({{core.memBusValid.id, bv},
+                    {core.memBusAddr.id, ba},
+                    {slot.valid.id, cm}});
+        return s.value(obs_id);
+    };
+    EXPECT_NE(val(1, 3, 0), val(1, 5, 0)) << "bus address observed";
+    EXPECT_NE(val(0, 0, 0), val(0, 0, 1)) << "commit timing observed";
+    EXPECT_EQ(val(0, 3, 0), val(0, 5, 0))
+        << "address masked when the bus is idle";
+}
+
+TEST(ContractObs, Names)
+{
+    EXPECT_STREQ(contractName(Contract::Sandboxing), "sandboxing");
+    EXPECT_STREQ(contractName(Contract::ConstantTime), "constant-time");
+}
+
+} // namespace
+} // namespace csl::contract

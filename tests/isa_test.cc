@@ -1,0 +1,271 @@
+// Unit tests for the toy ISA: encode/decode round trips, assembler and
+// disassembler, and golden-model semantics.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "isa/assembler.h"
+#include "isa/golden.h"
+#include "isa/isa.h"
+
+namespace csl::isa {
+namespace {
+
+TEST(IsaConfig, DerivedWidths)
+{
+    IsaConfig ic;
+    EXPECT_EQ(ic.regBits(), 2);
+    EXPECT_EQ(ic.pcBits(), 3);
+    EXPECT_EQ(ic.immLowBits(), 3);
+    EXPECT_EQ(ic.immBits(), 5);
+    EXPECT_EQ(ic.instrBits(), 10);
+    EXPECT_EQ(ic.secretStart(), 2u);
+    ic.check();
+}
+
+TEST(IsaConfig, SupportsFollowsFeatures)
+{
+    IsaConfig ic;
+    EXPECT_TRUE(ic.supports(Opcode::Li));
+    EXPECT_TRUE(ic.supports(Opcode::Ld));
+    EXPECT_FALSE(ic.supports(Opcode::Mul));
+    EXPECT_FALSE(ic.supports(Opcode::St));
+    ic.hasMul = true;
+    ic.hasStore = true;
+    EXPECT_TRUE(ic.supports(Opcode::Mul));
+    EXPECT_TRUE(ic.supports(Opcode::St));
+}
+
+TEST(Encoding, RoundTripAllOpcodes)
+{
+    IsaConfig ic;
+    ic.hasMul = true;
+    ic.hasStore = true;
+    std::mt19937 rng(7);
+    for (int round = 0; round < 500; ++round) {
+        Instr instr;
+        instr.op = static_cast<Opcode>(rng() % 6);
+        instr.f1 = static_cast<uint8_t>(rng() % ic.regCount);
+        instr.f2 = static_cast<uint8_t>(rng() % ic.regCount);
+        instr.f3 = static_cast<uint8_t>(rng() % (1 << ic.immLowBits()));
+        Instr back = decode(encode(instr, ic), ic);
+        EXPECT_EQ(back.op, instr.op);
+        EXPECT_EQ(back.f1, instr.f1);
+        EXPECT_EQ(back.f2, instr.f2);
+        EXPECT_EQ(back.f3, instr.f3);
+    }
+}
+
+TEST(Encoding, UnsupportedDecodesAsNop)
+{
+    IsaConfig ic; // no MUL, no ST
+    Instr mul;
+    mul.op = Opcode::Mul;
+    IsaConfig full = ic;
+    full.hasMul = true;
+    EXPECT_EQ(decode(encode(mul, full), ic).op, Opcode::Nop);
+}
+
+TEST(Assembler, RoundTripThroughDisassembler)
+{
+    IsaConfig ic;
+    ic.hasMul = true;
+    ic.hasStore = true;
+    std::string source = R"(
+        li   r1, 5
+        add  r2, r1, r1
+        mul  r3, r2, r1
+        ld   r0, [r2]
+        st   r1, [r3]
+        beqz r2, +3
+        nop
+    )";
+    auto words = assemble(source, ic);
+    ASSERT_EQ(words.size(), ic.imemSize);
+    const char *expect[] = {
+        "li   r1, 5",       "add  r2, r1, r1", "mul  r3, r2, r1",
+        "ld   r0, [r2]",    "st   r1, [r3]",   "beqz r2, +3",
+        "nop",              "nop",
+    };
+    for (size_t i = 0; i < ic.imemSize; ++i)
+        EXPECT_EQ(disassemble(decode(words[i], ic), ic), expect[i]);
+}
+
+TEST(Assembler, CommentsAndBlanksIgnored)
+{
+    IsaConfig ic;
+    auto words = assemble("# header\n  li r1, 2  // trailing\n\n", ic);
+    EXPECT_EQ(disassemble(decode(words[0], ic), ic), "li   r1, 2");
+    EXPECT_EQ(decode(words[1], ic).op, Opcode::Nop);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward)
+{
+    IsaConfig ic;
+    auto words = assemble(R"(
+        loop:
+        li r1, 1
+        beqz r0, skip
+        add r2, r1, r1
+        skip:
+        beqz r0, loop
+    )",
+                          ic);
+    // pc1: beqz to pc3: offset = 3 - 2 = 1.
+    Instr fwd = decode(words[1], ic);
+    EXPECT_EQ(fwd.op, Opcode::Beqz);
+    EXPECT_EQ(fwd.imm(ic), 1u);
+    // pc3: beqz back to pc0: offset = (0 - 4) mod 8 = 4.
+    Instr back = decode(words[3], ic);
+    EXPECT_EQ(back.imm(ic), 4u);
+
+    // Semantics: taken back-branch really lands on the label.
+    GoldenModel model(ic, words, {0, 0, 0, 0});
+    model.step();             // li
+    model.step();             // beqz r0 (r0==0: taken) -> skip
+    EXPECT_EQ(model.pc(), 3u);
+    model.step();             // beqz r0 -> loop
+    EXPECT_EQ(model.pc(), 0u);
+}
+
+TEST(Assembler, DuplicateLabelDies)
+{
+    IsaConfig ic;
+    EXPECT_DEATH(assemble("x:\nnop\nx:\nnop\n", ic), "duplicate label");
+}
+
+TEST(Assembler, RejectsUnsupportedMnemonic)
+{
+    IsaConfig ic; // no store
+    EXPECT_DEATH(assemble("st r1, [r2]\n", ic), "not supported");
+}
+
+TEST(Golden, LiAddSequence)
+{
+    IsaConfig ic;
+    auto words = assemble("li r1, 3\nadd r2, r1, r1\nadd r2, r2, r2\n", ic);
+    GoldenModel model(ic, words, {0, 0, 0, 0});
+    auto r1 = model.step();
+    EXPECT_TRUE(r1.writesReg);
+    EXPECT_EQ(r1.wdata, 3u);
+    auto r2 = model.step();
+    EXPECT_EQ(r2.wdata, 6u);
+    auto r3 = model.step();
+    EXPECT_EQ(r3.wdata, 12u % 16);
+    EXPECT_EQ(model.regs()[2], 12u);
+}
+
+TEST(Golden, LoadWrapsAddress)
+{
+    IsaConfig ic;
+    auto words = assemble("li r1, 6\nld r2, [r1]\n", ic);
+    GoldenModel model(ic, words, {0xa, 0xb, 0xc, 0xd});
+    model.step();
+    auto rec = model.step();
+    EXPECT_TRUE(rec.isLoad);
+    EXPECT_EQ(rec.addr, 6u);           // full architectural address
+    EXPECT_EQ(rec.wdata, 0xcu);        // dmem[6 mod 4]
+}
+
+TEST(Golden, BranchTakenAndWrapping)
+{
+    IsaConfig ic;
+    auto words = assemble("beqz r0, +6\n", ic); // taken: pc = (0+1+6)%8
+    GoldenModel model(ic, words, {0, 0, 0, 0});
+    auto rec = model.step();
+    EXPECT_TRUE(rec.isBranch);
+    EXPECT_TRUE(rec.taken);
+    EXPECT_EQ(model.pc(), 7u);
+    model.step(); // nop at 7
+    EXPECT_EQ(model.pc(), 0u); // wraps
+}
+
+TEST(Golden, BranchNotTaken)
+{
+    IsaConfig ic;
+    auto words = assemble("li r1, 2\nbeqz r1, +3\n", ic);
+    GoldenModel model(ic, words, {0, 0, 0, 0});
+    model.step();
+    auto rec = model.step();
+    EXPECT_TRUE(rec.isBranch);
+    EXPECT_FALSE(rec.taken);
+    EXPECT_EQ(model.pc(), 2u);
+}
+
+TEST(Golden, StoreWritesMemory)
+{
+    IsaConfig ic;
+    ic.hasStore = true;
+    auto words = assemble("li r1, 5\nli r2, 2\nst r1, [r2]\n", ic);
+    GoldenModel model(ic, words, {0, 0, 0, 0});
+    model.step();
+    model.step();
+    auto rec = model.step();
+    EXPECT_TRUE(rec.isStore);
+    EXPECT_EQ(rec.addr, 2u);
+    EXPECT_EQ(model.dmem()[2], 5u);
+}
+
+TEST(Golden, MisalignedLoadTraps)
+{
+    IsaConfig ic;
+    ic.trapOnMisaligned = true;
+    auto words = assemble("li r1, 3\nld r2, [r1]\nli r3, 7\n", ic);
+    GoldenModel model(ic, words, {0, 0, 0, 9});
+    model.step();
+    auto rec = model.step();
+    EXPECT_TRUE(rec.isLoad);
+    EXPECT_TRUE(rec.exception);
+    EXPECT_FALSE(rec.writesReg);
+    EXPECT_EQ(model.pc(), 0u);        // trap vector
+    EXPECT_EQ(model.regs()[2], 0u);   // no writeback
+}
+
+TEST(Golden, OutOfRangeLoadTraps)
+{
+    IsaConfig ic;
+    ic.trapOnOutOfRange = true;
+    auto words = assemble("li r1, 6\nld r2, [r1]\n", ic);
+    GoldenModel model(ic, words, {1, 2, 3, 4});
+    model.step();
+    auto rec = model.step();
+    EXPECT_TRUE(rec.exception);
+    EXPECT_EQ(model.pc(), 0u);
+}
+
+TEST(Golden, MulOperandsRecorded)
+{
+    IsaConfig ic;
+    ic.hasMul = true;
+    auto words = assemble("li r1, 3\nli r2, 5\nmul r3, r1, r2\n", ic);
+    GoldenModel model(ic, words, {0, 0, 0, 0});
+    model.step();
+    model.step();
+    auto rec = model.step();
+    EXPECT_TRUE(rec.isMul);
+    EXPECT_EQ(rec.opA, 3u);
+    EXPECT_EQ(rec.opB, 5u);
+    EXPECT_EQ(rec.wdata, 15u);
+}
+
+TEST(Golden, InitialRegistersRespected)
+{
+    IsaConfig ic;
+    auto words = assemble("add r3, r1, r2\n", ic);
+    GoldenModel model(ic, words, {0, 0, 0, 0}, {0, 4, 9, 0});
+    auto rec = model.step();
+    EXPECT_EQ(rec.wdata, 13u);
+}
+
+TEST(Disassemble, ProgramListing)
+{
+    IsaConfig ic;
+    auto words = assemble("li r1, 1\nld r2, [r1]\n", ic);
+    std::string listing = disassembleProgram(words, ic);
+    EXPECT_NE(listing.find("0: li   r1, 1"), std::string::npos);
+    EXPECT_NE(listing.find("1: ld   r2, [r1]"), std::string::npos);
+}
+
+} // namespace
+} // namespace csl::isa

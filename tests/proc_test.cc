@@ -1,0 +1,387 @@
+// Tandem functional tests: every core's committed instruction stream must
+// match the golden architectural model on randomized programs and initial
+// states (the paper's decoupled functional-correctness obligation), plus
+// directed microarchitectural tests of speculation and defense behaviour.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "isa/assembler.h"
+#include "isa/golden.h"
+#include "proc/presets.h"
+#include "rtl/builder.h"
+#include "sim/simulator.h"
+
+namespace csl {
+namespace {
+
+using defense::Defense;
+using isa::GoldenModel;
+using isa::IsaConfig;
+using proc::CoreIfc;
+using proc::CoreSpec;
+using rtl::Builder;
+using rtl::Circuit;
+using sim::Simulator;
+
+/** One observed commit, normalized for golden comparison. */
+struct ObservedCommit
+{
+    bool exception, writesReg, isLoad, isStore, isBranch, taken;
+    uint64_t wdata, addr;
+
+    bool operator==(const ObservedCommit &o) const = default;
+};
+
+std::string
+fmt(const ObservedCommit &c)
+{
+    std::ostringstream oss;
+    oss << "exc=" << c.exception << " wr=" << c.writesReg
+        << " ld=" << c.isLoad << " st=" << c.isStore << " br=" << c.isBranch
+        << " taken=" << c.taken << " wdata=" << c.wdata
+        << " addr=" << c.addr;
+    return oss.str();
+}
+
+ObservedCommit
+fromGolden(const isa::CommitRecord &r)
+{
+    ObservedCommit c{};
+    c.exception = r.exception;
+    c.writesReg = r.writesReg;
+    c.isLoad = r.isLoad;
+    c.isStore = r.isStore;
+    c.isBranch = r.isBranch;
+    c.taken = r.taken;
+    c.wdata = r.writesReg ? r.wdata : 0;
+    c.addr = (r.isLoad || r.isStore) ? r.addr : 0;
+    return c;
+}
+
+/** A core instance wired for standalone simulation. */
+struct SimHarness
+{
+    Circuit circuit;
+    CoreIfc ifc;
+    std::unique_ptr<Builder> builder;
+    std::unique_ptr<Simulator> sim;
+
+    SimHarness(const CoreSpec &spec, const std::vector<uint64_t> &imem,
+               const std::vector<uint64_t> &dmem,
+               const std::vector<uint64_t> &regs)
+    {
+        builder = std::make_unique<Builder>(circuit);
+        ifc = proc::buildCore(*builder, spec, "cpu");
+        builder->finish();
+        sim = std::make_unique<Simulator>(circuit);
+        std::unordered_map<rtl::NetId, uint64_t> init;
+        for (size_t i = 0; i < imem.size(); ++i)
+            init[ifc.imem->word(i).id] = imem[i];
+        for (size_t i = 0; i < dmem.size(); ++i)
+            init[ifc.dmem->word(i).id] = dmem[i];
+        for (size_t i = 0; i < regs.size(); ++i)
+            init[ifc.archRegs[i].id] = regs[i];
+        sim->reset(init);
+    }
+
+    /** Run one cycle; append any commits (oldest slot first). */
+    void
+    stepAndCollect(std::vector<ObservedCommit> &out)
+    {
+        sim->evaluate();
+        for (const proc::CommitSlot &slot : ifc.commits) {
+            if (!sim->value(slot.valid.id))
+                continue;
+            ObservedCommit c{};
+            c.exception = sim->value(slot.exception.id);
+            c.writesReg = sim->value(slot.writesReg.id);
+            c.isLoad = sim->value(slot.isLoad.id);
+            c.isStore = sim->value(slot.isStore.id);
+            c.isBranch = sim->value(slot.isBranch.id);
+            c.taken = sim->value(slot.taken.id);
+            c.wdata = c.writesReg ? sim->value(slot.wdata.id) : 0;
+            c.addr = (c.isLoad || c.isStore) ? sim->value(slot.addr.id) : 0;
+            out.push_back(c);
+        }
+        sim->tick();
+    }
+
+    /** Current memory-bus observation (call between evaluate and tick). */
+    bool busValid() const { return sim->value(ifc.memBusValid.id); }
+    uint64_t busAddr() const { return sim->value(ifc.memBusAddr.id); }
+};
+
+void
+runTandem(const CoreSpec &spec, uint32_t seed, int cycles)
+{
+    const IsaConfig &ic = spec.isaConfig();
+    std::mt19937_64 rng(seed);
+    std::vector<uint64_t> imem(ic.imemSize), dmem(ic.dmemSize),
+        regs(ic.regCount);
+    for (auto &w : imem)
+        w = truncBits(rng(), ic.instrBits());
+    for (auto &w : dmem)
+        w = truncBits(rng(), ic.dataWidth);
+    for (auto &w : regs)
+        w = truncBits(rng(), ic.dataWidth);
+
+    SimHarness harness(spec, imem, dmem, regs);
+    std::vector<ObservedCommit> observed;
+    for (int t = 0; t < cycles; ++t)
+        harness.stepAndCollect(observed);
+
+    // Progress: an unstalled core must retire work.
+    ASSERT_GT(observed.size(), 0u)
+        << coreKindName(spec.kind) << " committed nothing in " << cycles
+        << " cycles (seed " << seed << ")";
+
+    GoldenModel golden(ic, imem, dmem, regs);
+    for (size_t i = 0; i < observed.size(); ++i) {
+        ObservedCommit expect = fromGolden(golden.step());
+        ASSERT_EQ(observed[i], expect)
+            << coreKindName(spec.kind) << " seed " << seed
+            << " commit #" << i << "\n  core:   " << fmt(observed[i])
+            << "\n  golden: " << fmt(expect);
+    }
+}
+
+struct TandemParam
+{
+    const char *name;
+    CoreSpec spec;
+};
+
+class Tandem : public ::testing::TestWithParam<TandemParam>
+{};
+
+TEST_P(Tandem, CommitsMatchGolden)
+{
+    for (uint32_t seed = 1; seed <= 25; ++seed)
+        runTandem(GetParam().spec, seed, 120);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cores, Tandem,
+    ::testing::Values(
+        TandemParam{"IsaMachine", proc::isaMachineSpec()},
+        TandemParam{"InOrder", proc::inOrderSpec()},
+        TandemParam{"SimpleOoO", proc::simpleOoOSpec()},
+        TandemParam{"SimpleOoO_NoFwdFut",
+                    proc::simpleOoOSpec(Defense::NoFwdFuturistic)},
+        TandemParam{"SimpleOoO_NoFwdSpectre",
+                    proc::simpleOoOSpec(Defense::NoFwdSpectre)},
+        TandemParam{"SimpleOoO_DelayFut",
+                    proc::simpleOoOSpec(Defense::DelayFuturistic)},
+        TandemParam{"SimpleOoO_DelaySpectre",
+                    proc::simpleOoOSpec(Defense::DelaySpectre)},
+        TandemParam{"SimpleOoO_DoM",
+                    proc::simpleOoOSpec(Defense::DoMSpectre)},
+        TandemParam{"RideLite", proc::rideLiteSpec()},
+        TandemParam{"RideLite_DelaySpectre",
+                    proc::rideLiteSpec(Defense::DelaySpectre)},
+        TandemParam{"BoomLike", proc::boomLikeSpec()},
+        TandemParam{"BoomLike_DelayFut",
+                    proc::boomLikeSpec(Defense::DelayFuturistic)}),
+    [](const auto &info) { return std::string(info.param.name); });
+
+TEST(IsaMachineDirected, OneInstructionPerCycle)
+{
+    IsaConfig ic;
+    auto program = isa::assemble(R"(
+        li r1, 3
+        add r2, r1, r1
+        ld r3, [r2]
+        beqz r0, +1
+    )",
+                                 ic);
+    CoreSpec spec = proc::isaMachineSpec();
+    SimHarness harness(spec, program, {1, 2, 3, 4}, {0, 0, 0, 0});
+    std::vector<ObservedCommit> observed;
+    for (int t = 0; t < 8; ++t)
+        harness.stepAndCollect(observed);
+    EXPECT_EQ(observed.size(), 8u); // one commit per cycle, no gaps
+    EXPECT_EQ(observed[0].wdata, 3u);           // li r1, 3
+    EXPECT_EQ(observed[1].wdata, 6u);           // add: 3 + 3
+    EXPECT_TRUE(observed[2].isLoad);
+    EXPECT_EQ(observed[2].addr, 6u);            // ld [r2=6]
+    EXPECT_EQ(observed[2].wdata, 3u);           // dmem[6 mod 4] = dmem[2]
+    EXPECT_TRUE(observed[3].isBranch);
+    EXPECT_TRUE(observed[3].taken);             // r0 == 0
+}
+
+// The transient-leak shape: a mispredicted branch waits on a slow chain
+// while a younger load chain dereferences a secret. On the insecure core
+// the secret-dependent address must reach the memory bus; with
+// Delay_futuristic it must not.
+struct SpectreBusTrace
+{
+    std::vector<uint64_t> addrs;
+};
+
+SpectreBusTrace
+runSpectreShape(Defense defense, uint64_t secret)
+{
+    IsaConfig ic;
+    // r0 = 0 (branch cond), r3 = 2 (address of the secret).
+    auto program = isa::assemble(R"(
+        ld r1, [r0]      # slow branch-condition producer (dmem[0] = 0)
+        add r1, r1, r1   # lengthen the chain: branch resolves late
+        beqz r1, +3      # taken (mispredict vs. predict-not-taken)
+        ld r2, [r3]      # transient: loads the secret from dmem[2]
+        ld r2, [r2]      # transient: secret value becomes a bus address
+        nop
+    )",
+                                 ic);
+    CoreSpec spec = proc::simpleOoOSpec(defense);
+    SimHarness harness(spec, program, {0, 1, secret, 3}, {0, 0, 0, 2});
+    SpectreBusTrace trace;
+    std::vector<ObservedCommit> observed;
+    for (int t = 0; t < 30; ++t) {
+        harness.sim->evaluate();
+        if (harness.busValid())
+            trace.addrs.push_back(harness.busAddr());
+        harness.sim->tick();
+    }
+    return trace;
+}
+
+TEST(SpeculationDirected, InsecureCoreLeaksSecretOnBus)
+{
+    auto t1 = runSpectreShape(Defense::None, 9);
+    auto t2 = runSpectreShape(Defense::None, 5);
+    EXPECT_NE(t1.addrs, t2.addrs)
+        << "insecure core should expose a secret-dependent bus address";
+    // The secret value itself must appear as an address.
+    EXPECT_NE(std::find(t1.addrs.begin(), t1.addrs.end(), 9u),
+              t1.addrs.end());
+}
+
+TEST(SpeculationDirected, DelayFuturisticHidesSecret)
+{
+    auto t1 = runSpectreShape(Defense::DelayFuturistic, 9);
+    auto t2 = runSpectreShape(Defense::DelayFuturistic, 5);
+    EXPECT_EQ(t1.addrs, t2.addrs);
+}
+
+TEST(SpeculationDirected, DelaySpectreHidesSecret)
+{
+    auto t1 = runSpectreShape(Defense::DelaySpectre, 9);
+    auto t2 = runSpectreShape(Defense::DelaySpectre, 5);
+    EXPECT_EQ(t1.addrs, t2.addrs);
+}
+
+TEST(SpeculationDirected, NoFwdFuturisticHidesSecretValue)
+{
+    // NoFwd blocks the transient secret from feeding the second load.
+    auto t1 = runSpectreShape(Defense::NoFwdFuturistic, 9);
+    auto t2 = runSpectreShape(Defense::NoFwdFuturistic, 5);
+    EXPECT_EQ(t1.addrs, t2.addrs);
+}
+
+TEST(BoomLikeDirected, MisalignedLoadForwardsButTraps)
+{
+    // The paper's Section 7.1.4 attack shape: a misaligned load traps at
+    // commit (so it never architecturally commits), yet speculatively
+    // forwards the loaded secret to a younger load.
+    CoreSpec spec = proc::boomLikeSpec();
+    const IsaConfig &ic = spec.isaConfig();
+    // A three-load delay chain keeps the trapping load away from the ROB
+    // head long enough for the dependent transient load to reach the bus
+    // before the trap squashes it.
+    auto program = isa::assemble(R"(
+        ld r0, [r0]      # delay chain (dmem[0] = 0 keeps r0 at 0)
+        ld r0, [r0]
+        ld r0, [r0]
+        ld r2, [r1]      # misaligned (addr 1): traps at commit
+        ld r3, [r2]      # transient: dereferences the forwarded secret
+        nop
+    )",
+                                 ic);
+    // dmem[1] holds a "secret" 3; r1 starts at the misaligned address 1.
+    SimHarness harness(spec, program, {0, 3, 0, 0}, {0, 1, 0, 0});
+    std::vector<ObservedCommit> observed;
+    std::vector<uint64_t> bus;
+    for (int t = 0; t < 24; ++t) {
+        harness.sim->evaluate();
+        if (harness.busValid())
+            bus.push_back(harness.busAddr());
+        for (const proc::CommitSlot &slot : harness.ifc.commits) {
+            if (!harness.sim->value(slot.valid.id))
+                continue;
+            ObservedCommit c{};
+            c.exception = harness.sim->value(slot.exception.id);
+            c.isLoad = harness.sim->value(slot.isLoad.id);
+            observed.push_back(c);
+        }
+        harness.sim->tick();
+    }
+    // The speculative dereference of the forwarded value hit the bus.
+    EXPECT_NE(std::find(bus.begin(), bus.end(), 3u), bus.end());
+    // And some committed load carries the exception marker.
+    bool trapped = false;
+    for (const auto &c : observed)
+        trapped = trapped || (c.isLoad && c.exception);
+    EXPECT_TRUE(trapped);
+}
+
+TEST(DoMDirected, HitMissTimingDiffers)
+{
+    // Two runs differing only in whether a cache line was warmed by an
+    // earlier access: commit timing of the probing load differs.
+    auto run = [&](uint64_t warm_addr) {
+        CoreSpec spec = proc::simpleOoOSpec(Defense::DoMSpectre);
+        const IsaConfig &ic = spec.isaConfig();
+        auto program = isa::assemble(R"(
+            ld r1, [r2]      # warms the cache line at [r2]
+            ld r3, [r0]      # probe: hit iff warm_addr == 0
+        )",
+                                     ic);
+        std::vector<uint64_t> regs(ic.regCount, 0);
+        regs[2] = warm_addr;
+        SimHarness harness(spec, program, {1, 2, 3, 4}, regs);
+        std::vector<int> commit_cycles;
+        for (int t = 0; t < 30; ++t) {
+            harness.sim->evaluate();
+            if (harness.sim->value(harness.ifc.commits[0].valid.id))
+                commit_cycles.push_back(t);
+            harness.sim->tick();
+        }
+        return commit_cycles;
+    };
+    auto hit = run(0);
+    auto miss = run(3);
+    ASSERT_GE(hit.size(), 2u);
+    ASSERT_GE(miss.size(), 2u);
+    EXPECT_LT(hit[1], miss[1]) << "cache hit should commit earlier";
+}
+
+TEST(RideLiteDirected, CanCommitTwoPerCycle)
+{
+    CoreSpec spec = proc::rideLiteSpec();
+    const IsaConfig &ic = spec.isaConfig();
+    // A dependent-load stall lets a younger LI finish behind the slow
+    // head, so both retire in the same cycle once the head completes.
+    auto program = isa::assemble(R"(
+        ld r1, [r0]
+        ld r1, [r1]
+        li r2, 1
+        li r3, 2
+    )",
+                                 ic);
+    SimHarness harness(spec, program, {0, 0, 0, 0},
+                       {0, 0, 0, 0});
+    bool dual = false;
+    for (int t = 0; t < 20 && !dual; ++t) {
+        harness.sim->evaluate();
+        dual = harness.sim->value(harness.ifc.commits[0].valid.id) &&
+               harness.sim->value(harness.ifc.commits[1].valid.id);
+        harness.sim->tick();
+    }
+    EXPECT_TRUE(dual) << "2-wide core never dual-committed";
+}
+
+} // namespace
+} // namespace csl

@@ -1,0 +1,334 @@
+// Unit and property tests for the CDCL solver, including exhaustive
+// cross-checking against a brute-force enumerator on random small CNFs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+#include "sat/dimacs.h"
+#include "sat/solver.h"
+
+namespace csl::sat {
+namespace {
+
+TEST(Lit, Representation)
+{
+    Lit p = mkLit(3);
+    Lit np = mkLit(3, true);
+    EXPECT_EQ(var(p), 3);
+    EXPECT_FALSE(sign(p));
+    EXPECT_TRUE(sign(np));
+    EXPECT_EQ(~p, np);
+    EXPECT_EQ(~np, p);
+}
+
+TEST(Solver, TrivialSat)
+{
+    Solver s;
+    Var a = s.newVar();
+    s.addClause(mkLit(a));
+    EXPECT_EQ(s.solve(), Status::Sat);
+    EXPECT_TRUE(s.modelValue(mkLit(a)));
+}
+
+TEST(Solver, TrivialUnsat)
+{
+    Solver s;
+    Var a = s.newVar();
+    s.addClause(mkLit(a));
+    EXPECT_FALSE(s.addClause(mkLit(a, true)));
+    EXPECT_EQ(s.solve(), Status::Unsat);
+    EXPECT_TRUE(s.inconsistent());
+}
+
+TEST(Solver, UnitPropagationChain)
+{
+    Solver s;
+    const int n = 20;
+    std::vector<Var> v(n);
+    for (int i = 0; i < n; ++i)
+        v[i] = s.newVar();
+    s.addClause(mkLit(v[0]));
+    for (int i = 0; i + 1 < n; ++i)
+        s.addClause(mkLit(v[i], true), mkLit(v[i + 1])); // v[i] -> v[i+1]
+    EXPECT_EQ(s.solve(), Status::Sat);
+    for (int i = 0; i < n; ++i)
+        EXPECT_TRUE(s.modelValue(mkLit(v[i])));
+}
+
+TEST(Solver, RequiresConflictAnalysis)
+{
+    // (a | b) & (a | ~b) & (~a | c) & (~a | ~c) is unsat.
+    Solver s;
+    Var a = s.newVar(), b = s.newVar(), c = s.newVar();
+    s.addClause(mkLit(a), mkLit(b));
+    s.addClause(mkLit(a), mkLit(b, true));
+    s.addClause(mkLit(a, true), mkLit(c));
+    s.addClause(mkLit(a, true), mkLit(c, true));
+    EXPECT_EQ(s.solve(), Status::Unsat);
+}
+
+TEST(Solver, AssumptionsSatUnsat)
+{
+    Solver s;
+    Var a = s.newVar(), b = s.newVar();
+    s.addClause(mkLit(a, true), mkLit(b)); // a -> b
+    EXPECT_EQ(s.solve({mkLit(a)}), Status::Sat);
+    EXPECT_TRUE(s.modelValue(mkLit(b)));
+    s.addClause(mkLit(b, true)); // now ~b holds
+    EXPECT_EQ(s.solve({mkLit(a)}), Status::Unsat);
+    // Without the assumption the formula stays satisfiable.
+    EXPECT_EQ(s.solve(), Status::Sat);
+    EXPECT_FALSE(s.modelValue(mkLit(a)));
+}
+
+TEST(Solver, IncrementalAddBetweenSolves)
+{
+    Solver s;
+    Var a = s.newVar(), b = s.newVar(), c = s.newVar();
+    s.addClause(mkLit(a), mkLit(b), mkLit(c));
+    EXPECT_EQ(s.solve(), Status::Sat);
+    s.addClause(mkLit(a, true));
+    s.addClause(mkLit(b, true));
+    EXPECT_EQ(s.solve(), Status::Sat);
+    EXPECT_TRUE(s.modelValue(mkLit(c)));
+    s.addClause(mkLit(c, true));
+    EXPECT_EQ(s.solve(), Status::Unsat);
+}
+
+TEST(Solver, DuplicateAndTautologicalClauses)
+{
+    Solver s;
+    Var a = s.newVar(), b = s.newVar();
+    EXPECT_TRUE(s.addClause({mkLit(a), mkLit(a), mkLit(b)}));
+    EXPECT_TRUE(s.addClause({mkLit(a), mkLit(a, true)})); // tautology
+    EXPECT_EQ(s.solve(), Status::Sat);
+}
+
+TEST(Solver, PigeonholeUnsat)
+{
+    // PHP(n+1, n): n+1 pigeons, n holes. Classic hard UNSAT family;
+    // n=6 exercises restarts and clause learning.
+    const int pigeons = 7, holes = 6;
+    Solver s;
+    std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+    for (auto &row : x)
+        for (auto &v : row)
+            v = s.newVar();
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<Lit> clause;
+        for (int h = 0; h < holes; ++h)
+            clause.push_back(mkLit(x[p][h]));
+        s.addClause(clause);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                s.addClause(mkLit(x[p1][h], true), mkLit(x[p2][h], true));
+    EXPECT_EQ(s.solve(), Status::Unsat);
+    EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+TEST(Solver, BudgetExhaustionReturnsUnknown)
+{
+    // A PHP instance large enough to exceed a 5-conflict budget.
+    const int pigeons = 9, holes = 8;
+    Solver s;
+    std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+    for (auto &row : x)
+        for (auto &v : row)
+            v = s.newVar();
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<Lit> clause;
+        for (int h = 0; h < holes; ++h)
+            clause.push_back(mkLit(x[p][h]));
+        s.addClause(clause);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                s.addClause(mkLit(x[p1][h], true), mkLit(x[p2][h], true));
+    Budget budget(1e9, 5);
+    EXPECT_EQ(s.solve({}, &budget), Status::Unknown);
+    // The solver must remain usable after a timeout.
+    EXPECT_EQ(s.solve(), Status::Unsat);
+}
+
+TEST(Solver, FailedAssumptionsIdentifyCore)
+{
+    // a -> b, c -> ~b: assuming {a, c, d} is unsat; d is irrelevant.
+    Solver s;
+    Var a = s.newVar(), b = s.newVar(), c = s.newVar(), d = s.newVar();
+    s.addClause(mkLit(a, true), mkLit(b));
+    s.addClause(mkLit(c, true), mkLit(b, true));
+    ASSERT_EQ(s.solve({mkLit(a), mkLit(c), mkLit(d)}), Status::Unsat);
+    const auto &core = s.failedAssumptions();
+    auto contains = [&](Lit l) {
+        return std::find(core.begin(), core.end(), l) != core.end();
+    };
+    EXPECT_TRUE(contains(mkLit(a)) || contains(mkLit(c)));
+    EXPECT_FALSE(contains(mkLit(d))) << "irrelevant assumption in core";
+    // The core must itself be unsatisfiable with the clauses.
+    Solver s2;
+    for (int i = 0; i < 4; ++i)
+        s2.newVar();
+    s2.addClause(mkLit(a, true), mkLit(b));
+    s2.addClause(mkLit(c, true), mkLit(b, true));
+    EXPECT_EQ(s2.solve(core), Status::Unsat);
+}
+
+TEST(Solver, FailedAssumptionsDirectContradiction)
+{
+    Solver s;
+    Var a = s.newVar();
+    s.newVar();
+    ASSERT_EQ(s.solve({mkLit(a), mkLit(a, true)}), Status::Unsat);
+    EXPECT_FALSE(s.failedAssumptions().empty());
+}
+
+TEST(Solver, FailedAssumptionsEmptyWhenFormulaUnsat)
+{
+    Solver s;
+    Var a = s.newVar();
+    s.addClause(mkLit(a));
+    s.addClause(mkLit(a, true));
+    ASSERT_EQ(s.solve({mkLit(a)}), Status::Unsat);
+    EXPECT_TRUE(s.failedAssumptions().empty())
+        << "root-level unsat has no assumption core";
+}
+
+// --- Randomized cross-check against brute force ---------------------------
+
+bool
+bruteForceSat(int num_vars, const std::vector<std::vector<Lit>> &clauses)
+{
+    for (uint32_t assign = 0; assign < (1u << num_vars); ++assign) {
+        bool all = true;
+        for (const auto &clause : clauses) {
+            bool any = false;
+            for (Lit l : clause) {
+                bool v = (assign >> var(l)) & 1;
+                if (v != sign(l)) {
+                    any = true;
+                    break;
+                }
+            }
+            if (!any) {
+                all = false;
+                break;
+            }
+        }
+        if (all)
+            return true;
+    }
+    return false;
+}
+
+class RandomCnf : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RandomCnf, MatchesBruteForce)
+{
+    std::mt19937 rng(GetParam());
+    for (int round = 0; round < 60; ++round) {
+        const int num_vars = 3 + int(rng() % 10);       // 3..12
+        const int num_clauses = int(num_vars * (3.0 + (rng() % 20) / 10.0));
+        std::vector<std::vector<Lit>> clauses;
+        for (int i = 0; i < num_clauses; ++i) {
+            int len = 1 + int(rng() % 3);
+            std::vector<Lit> clause;
+            for (int j = 0; j < len; ++j)
+                clause.push_back(
+                    mkLit(int(rng() % num_vars), rng() & 1));
+            clauses.push_back(clause);
+        }
+        Solver s;
+        for (int v = 0; v < num_vars; ++v)
+            s.newVar();
+        for (auto &clause : clauses)
+            s.addClause(clause);
+        Status status = s.solve();
+        bool expected = bruteForceSat(num_vars, clauses);
+        ASSERT_EQ(status == Status::Sat, expected)
+            << "divergence on round " << round << " seed " << GetParam();
+        if (status == Status::Sat) {
+            // Verify the model satisfies every clause.
+            for (const auto &clause : clauses) {
+                bool any = false;
+                for (Lit l : clause)
+                    any = any || s.modelValue(l);
+                ASSERT_TRUE(any) << "model violates a clause";
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCnf,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Randomized check that assumptions behave like temporary units.
+class RandomAssumptions : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RandomAssumptions, MatchesAugmentedFormula)
+{
+    std::mt19937 rng(1000 + GetParam());
+    for (int round = 0; round < 30; ++round) {
+        const int num_vars = 4 + int(rng() % 8);
+        const int num_clauses = num_vars * 3;
+        std::vector<std::vector<Lit>> clauses;
+        for (int i = 0; i < num_clauses; ++i) {
+            int len = 1 + int(rng() % 3);
+            std::vector<Lit> clause;
+            for (int j = 0; j < len; ++j)
+                clause.push_back(mkLit(int(rng() % num_vars), rng() & 1));
+            clauses.push_back(clause);
+        }
+        std::vector<Lit> assumptions;
+        int num_assumps = 1 + int(rng() % 3);
+        for (int i = 0; i < num_assumps; ++i)
+            assumptions.push_back(mkLit(int(rng() % num_vars), rng() & 1));
+
+        Solver s;
+        for (int v = 0; v < num_vars; ++v)
+            s.newVar();
+        for (auto &clause : clauses)
+            s.addClause(clause);
+        Status status = s.solve(assumptions);
+
+        auto augmented = clauses;
+        for (Lit l : assumptions)
+            augmented.push_back({l});
+        bool expected = bruteForceSat(num_vars, augmented);
+        ASSERT_EQ(status == Status::Sat, expected);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAssumptions,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Dimacs, RoundTrip)
+{
+    std::istringstream in("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+    Cnf cnf = parseDimacs(in);
+    EXPECT_EQ(cnf.numVars, 3);
+    ASSERT_EQ(cnf.clauses.size(), 2u);
+    EXPECT_EQ(cnf.clauses[0][0], mkLit(0));
+    EXPECT_EQ(cnf.clauses[0][1], mkLit(1, true));
+
+    std::ostringstream out;
+    writeDimacs(cnf, out);
+    std::istringstream in2(out.str());
+    Cnf cnf2 = parseDimacs(in2);
+    EXPECT_EQ(cnf2.numVars, cnf.numVars);
+    EXPECT_EQ(cnf2.clauses, cnf.clauses);
+
+    Solver s;
+    loadCnf(cnf, s);
+    EXPECT_EQ(s.solve(), Status::Sat);
+}
+
+} // namespace
+} // namespace csl::sat

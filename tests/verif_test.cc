@@ -1,0 +1,189 @@
+// End-to-end verification tests: the library's headline behaviours.
+// Attack finding on insecure designs, unbounded proofs on secure ones,
+// LEAVE's in-order-only power, fuzzing, and the requirement ablations.
+
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzzer.h"
+#include "leave/invariant_search.h"
+#include "verif/task.h"
+
+namespace csl {
+namespace {
+
+using contract::Contract;
+using defense::Defense;
+
+verif::VerificationTask
+huntTask(proc::CoreSpec spec, Contract contract)
+{
+    verif::VerificationTask task;
+    task.core = std::move(spec);
+    task.contract = contract;
+    task.scheme = verif::Scheme::ContractShadow;
+    task.tryProof = false;
+    task.assumeSecretsDiffer = true;
+    task.maxDepth = 12;
+    task.timeoutSeconds = 300;
+    return task;
+}
+
+verif::VerificationTask
+proveTask(proc::CoreSpec spec, Contract contract)
+{
+    verif::VerificationTask task;
+    task.core = std::move(spec);
+    task.contract = contract;
+    task.scheme = verif::Scheme::ContractShadow;
+    task.maxDepth = 20;
+    task.timeoutSeconds = 600;
+    return task;
+}
+
+TEST(EndToEnd, ShadowFindsSandboxingAttackOnInsecureSimpleOoO)
+{
+    auto res = verif::runVerification(
+        huntTask(proc::simpleOoOSpec(Defense::None),
+                 Contract::Sandboxing));
+    ASSERT_EQ(res.verdict, mc::Verdict::Attack);
+    EXPECT_NE(res.attackReport.find("confirmed in simulation"),
+              std::string::npos)
+        << res.attackReport;
+}
+
+TEST(EndToEnd, ShadowFindsConstantTimeAttackOnInsecureSimpleOoO)
+{
+    auto res = verif::runVerification(
+        huntTask(proc::simpleOoOSpec(Defense::None),
+                 Contract::ConstantTime));
+    ASSERT_EQ(res.verdict, mc::Verdict::Attack);
+    EXPECT_NE(res.attackReport.find("confirmed in simulation"),
+              std::string::npos);
+}
+
+TEST(EndToEnd, ShadowProvesDelayFuturistic)
+{
+    auto res = verif::runVerification(
+        proveTask(proc::simpleOoOSpec(Defense::DelayFuturistic),
+                  Contract::Sandboxing));
+    EXPECT_EQ(res.verdict, mc::Verdict::Proof)
+        << verif::formatResult(res);
+}
+
+TEST(EndToEnd, ShadowProvesInOrderCore)
+{
+    auto res = verif::runVerification(
+        proveTask(proc::inOrderSpec(), Contract::Sandboxing));
+    EXPECT_EQ(res.verdict, mc::Verdict::Proof)
+        << verif::formatResult(res);
+}
+
+TEST(EndToEnd, LeaveProvesInOrderButNotOoO)
+{
+    leave::LeaveOptions opts;
+    opts.contract = Contract::Sandboxing;
+    opts.timeoutSeconds = 300;
+
+    auto in_order = leave::runLeave(proc::inOrderSpec(), opts);
+    EXPECT_EQ(in_order.kind, leave::LeaveResult::Kind::Proof)
+        << in_order.survivors << "/" << in_order.candidates;
+
+    auto ooo = leave::runLeave(
+        proc::simpleOoOSpec(Defense::DelaySpectre), opts);
+    EXPECT_EQ(ooo.kind, leave::LeaveResult::Kind::Unknown)
+        << "LEAVE's cycle-aligned encoding should not prove an OoO core";
+}
+
+TEST(EndToEnd, FuzzerFindsAttackOnInsecureCore)
+{
+    fuzz::FuzzOptions opts;
+    opts.contract = Contract::Sandboxing;
+    opts.timeoutSeconds = 60;
+    opts.maxPrograms = 300000;
+    bool found = false;
+    uint64_t tried = 0, valid = 0;
+    for (uint64_t seed = 1; seed <= 4 && !found; ++seed) {
+        opts.seed = seed;
+        auto res =
+            fuzz::runFuzzer(proc::simpleOoOSpec(Defense::None), opts);
+        found = res.attack.has_value();
+        tried += res.programsTried;
+        valid += res.programsValid;
+    }
+    EXPECT_TRUE(found) << tried << " programs tried";
+    EXPECT_GT(valid, 0u);
+}
+
+TEST(EndToEnd, FuzzerFindsNothingOnDelayFuturistic)
+{
+    fuzz::FuzzOptions opts;
+    opts.contract = Contract::Sandboxing;
+    opts.timeoutSeconds = 10;
+    opts.maxPrograms = 3000;
+    auto res = fuzz::runFuzzer(
+        proc::simpleOoOSpec(Defense::DelayFuturistic), opts);
+    EXPECT_FALSE(res.attack.has_value());
+}
+
+TEST(EndToEnd, DrainCheckDelaysVerdictUntilContractCovered)
+{
+    // Without the instruction-inclusion (drain) check the assertion can
+    // fire at the divergence itself, before the contract constraint has
+    // examined the in-flight bound-to-commit instructions; the full
+    // scheme must therefore report its (genuine) counterexample at a
+    // strictly greater depth.
+    auto task = huntTask(proc::simpleOoOSpec(Defense::None),
+                         Contract::Sandboxing);
+    auto full = verif::runVerification(task);
+    task.enableDrainCheck = false;
+    auto ablated = verif::runVerification(task);
+    ASSERT_EQ(full.verdict, mc::Verdict::Attack);
+    ASSERT_EQ(ablated.verdict, mc::Verdict::Attack);
+    EXPECT_LT(ablated.depth, full.depth);
+}
+
+TEST(EndToEnd, BaselineFindsAttackButCannotProve)
+{
+    // Attack side: comparable to the shadow scheme (paper Section 7.1.2).
+    auto hunt = huntTask(proc::simpleOoOSpec(Defense::None),
+                         Contract::Sandboxing);
+    hunt.scheme = verif::Scheme::Baseline;
+    auto attack = verif::runVerification(hunt);
+    EXPECT_EQ(attack.verdict, mc::Verdict::Attack);
+
+    // Proof side: the four-machine product does not close within a
+    // budget that is generous for the shadow scheme.
+    auto prove = proveTask(proc::simpleOoOSpec(Defense::DelayFuturistic),
+                           Contract::Sandboxing);
+    prove.scheme = verif::Scheme::Baseline;
+    prove.timeoutSeconds = 20;
+    prove.maxDepth = 40;
+    auto res = verif::runVerification(prove);
+    EXPECT_NE(res.verdict, mc::Verdict::Proof);
+    EXPECT_NE(res.verdict, mc::Verdict::Attack);
+}
+
+TEST(EndToEnd, FormatResultMentionsVerdictAndTime)
+{
+    verif::VerificationResult res;
+    res.verdict = mc::Verdict::Proof;
+    res.seconds = 1.5;
+    res.detail = "192/194 invariants";
+    std::string s = verif::formatResult(res);
+    EXPECT_NE(s.find("PROOF"), std::string::npos);
+    EXPECT_NE(s.find("1.50s"), std::string::npos);
+    EXPECT_NE(s.find("invariants"), std::string::npos);
+}
+
+TEST(EndToEnd, SchemeNames)
+{
+    EXPECT_STREQ(verif::schemeName(verif::Scheme::ContractShadow),
+                 "ContractShadow");
+    EXPECT_STREQ(verif::schemeName(verif::Scheme::Baseline), "Baseline");
+    EXPECT_STREQ(verif::schemeName(verif::Scheme::UpecLike), "UPEC-like");
+    EXPECT_STREQ(verif::schemeName(verif::Scheme::Leave), "LEAVE-like");
+    EXPECT_STREQ(verif::schemeName(verif::Scheme::Fuzz), "Fuzz");
+}
+
+} // namespace
+} // namespace csl

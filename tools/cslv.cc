@@ -1,0 +1,212 @@
+/**
+ * @file
+ * cslv - the command-line front end to the verification library.
+ *
+ * Examples:
+ *   cslv --core simpleooo --defense none --contract sandboxing --hunt
+ *   cslv --core simpleooo --defense delay_spectre --contract ct
+ *   cslv --core boomlike --hunt --exclude-misaligned
+ *   cslv --core inorder --scheme leave
+ *   cslv --core simpleooo --export-btor2 out.btor2
+ *
+ * Run `cslv --help` for the full flag list.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "rtl/btor2.h"
+#include "shadow/shadow_builder.h"
+#include "verif/task.h"
+
+namespace {
+
+using namespace csl;
+
+void
+usage()
+{
+    std::printf(R"(cslv - RTL verification for secure speculation (contract shadow logic)
+
+usage: cslv [options]
+
+target selection:
+  --core <name>        inorder | simpleooo | ridelite | boomlike
+                       (default simpleooo)
+  --defense <name>     none | nofwd_fut | nofwd_spectre | delay_fut |
+                       delay_spectre | dom (default none)
+  --rob <n>            override ROB size
+  --regs <n>           override architectural register count
+  --dmem <n>           override data-memory words
+  --imem <n>           override instruction-memory words
+
+property and scheme:
+  --contract <name>    sandboxing | ct (default sandboxing)
+  --scheme <name>      shadow | baseline | upec | leave | fuzz
+                       (default shadow)
+
+engine:
+  --hunt               attack search only (BMC, differing secrets)
+  --depth <k>          max BMC depth / induction k (default 24)
+  --budget <seconds>   wall-clock budget (default 600)
+  --exclude-misaligned forbid misaligned-address programs
+  --exclude-oor        forbid out-of-range-address programs
+
+other:
+  --export-btor2 <file>  write the verification circuit as BTOR2 and exit
+  --help                 this message
+)");
+}
+
+bool
+match(const char *arg, const char *flag)
+{
+    return std::strcmp(arg, flag) == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    verif::VerificationTask task;
+    std::string core = "simpleooo";
+    std::string defense_name = "none";
+    std::string btor2_path;
+    int rob = -1, regs = -1, dmem = -1, imem = -1;
+
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", argv[i]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (match(argv[i], "--help")) {
+            usage();
+            return 0;
+        } else if (match(argv[i], "--core")) {
+            core = value();
+        } else if (match(argv[i], "--defense")) {
+            defense_name = value();
+        } else if (match(argv[i], "--rob")) {
+            rob = std::atoi(value());
+        } else if (match(argv[i], "--regs")) {
+            regs = std::atoi(value());
+        } else if (match(argv[i], "--dmem")) {
+            dmem = std::atoi(value());
+        } else if (match(argv[i], "--imem")) {
+            imem = std::atoi(value());
+        } else if (match(argv[i], "--contract")) {
+            std::string v = value();
+            task.contract = v == "ct" || v == "constant-time"
+                                ? contract::Contract::ConstantTime
+                                : contract::Contract::Sandboxing;
+        } else if (match(argv[i], "--scheme")) {
+            std::string v = value();
+            if (v == "shadow")
+                task.scheme = verif::Scheme::ContractShadow;
+            else if (v == "baseline")
+                task.scheme = verif::Scheme::Baseline;
+            else if (v == "upec")
+                task.scheme = verif::Scheme::UpecLike;
+            else if (v == "leave")
+                task.scheme = verif::Scheme::Leave;
+            else if (v == "fuzz")
+                task.scheme = verif::Scheme::Fuzz;
+            else {
+                std::fprintf(stderr, "unknown scheme '%s'\n", v.c_str());
+                return 2;
+            }
+        } else if (match(argv[i], "--hunt")) {
+            task.tryProof = false;
+            task.assumeSecretsDiffer = true;
+            task.maxDepth = 14;
+        } else if (match(argv[i], "--depth")) {
+            task.maxDepth = size_t(std::atoi(value()));
+        } else if (match(argv[i], "--budget")) {
+            task.timeoutSeconds = std::atof(value());
+        } else if (match(argv[i], "--exclude-misaligned")) {
+            task.excludeMisaligned = true;
+        } else if (match(argv[i], "--exclude-oor")) {
+            task.excludeOutOfRange = true;
+        } else if (match(argv[i], "--export-btor2")) {
+            btor2_path = value();
+        } else {
+            std::fprintf(stderr, "unknown flag '%s' (try --help)\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+
+    defense::Defense def;
+    if (defense_name == "none")
+        def = defense::Defense::None;
+    else if (defense_name == "nofwd_fut")
+        def = defense::Defense::NoFwdFuturistic;
+    else if (defense_name == "nofwd_spectre")
+        def = defense::Defense::NoFwdSpectre;
+    else if (defense_name == "delay_fut")
+        def = defense::Defense::DelayFuturistic;
+    else if (defense_name == "delay_spectre")
+        def = defense::Defense::DelaySpectre;
+    else if (defense_name == "dom")
+        def = defense::Defense::DoMSpectre;
+    else {
+        std::fprintf(stderr, "unknown defense '%s'\n",
+                     defense_name.c_str());
+        return 2;
+    }
+
+    if (core == "inorder")
+        task.core = proc::inOrderSpec();
+    else if (core == "simpleooo")
+        task.core = proc::simpleOoOSpec(def);
+    else if (core == "ridelite")
+        task.core = proc::rideLiteSpec(def);
+    else if (core == "boomlike")
+        task.core = proc::boomLikeSpec(def);
+    else {
+        std::fprintf(stderr, "unknown core '%s'\n", core.c_str());
+        return 2;
+    }
+    if (rob > 0)
+        task.core.ooo.robSize = rob;
+    if (regs > 0)
+        task.core.ooo.isa.regCount = regs;
+    if (dmem > 0)
+        task.core.ooo.isa.dmemSize = size_t(dmem);
+    if (imem > 0)
+        task.core.ooo.isa.imemSize = size_t(imem);
+
+    if (!btor2_path.empty()) {
+        rtl::Circuit circuit;
+        shadow::ShadowOptions opts;
+        opts.contract = task.contract;
+        opts.assumeSecretsDiffer = task.assumeSecretsDiffer;
+        shadow::buildShadowCircuit(circuit, task.core, opts);
+        std::ofstream out(btor2_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", btor2_path.c_str());
+            return 1;
+        }
+        rtl::exportBtor2(circuit, out);
+        std::printf("wrote %s\n", btor2_path.c_str());
+        return 0;
+    }
+
+    std::printf("core=%s defense=%s contract=%s scheme=%s depth=%zu "
+                "budget=%.0fs\n",
+                core.c_str(), defense::defenseName(def),
+                contract::contractName(task.contract),
+                verif::schemeName(task.scheme), task.maxDepth,
+                task.timeoutSeconds);
+    verif::VerificationResult result = verif::runVerification(task);
+    std::printf("%s\n", verif::formatResult(result).c_str());
+    if (!result.attackReport.empty())
+        std::printf("%s", result.attackReport.c_str());
+    return result.verdict == mc::Verdict::Attack ? 10 : 0;
+}
