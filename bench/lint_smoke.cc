@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Lint-only smoke run: build every core preset under both verification
+ * schemes and run the full static-analysis pass stack - no bit-blasting,
+ * no SAT. Catches circuit-construction regressions (width mismatches,
+ * dangling backedges, vacuous assumes, mis-wired shadow taps) in
+ * seconds; wired into ctest so it runs with the tier-1 suite.
+ */
+
+#include <cstdio>
+
+#include "rtl/analysis/analysis.h"
+#include "shadow/baseline_builder.h"
+#include "shadow/shadow_builder.h"
+#include "verif/task.h"
+
+using namespace csl;
+
+namespace {
+
+struct Target
+{
+    const char *name;
+    proc::CoreSpec spec;
+};
+
+int
+lintOne(const Target &target, verif::Scheme scheme)
+{
+    rtl::Circuit circuit;
+    rtl::analysis::Report report;
+    rtl::analysis::AnalysisOptions aopts;
+    if (scheme == verif::Scheme::Baseline) {
+        shadow::BaselineHarness h = shadow::buildBaselineCircuit(
+            circuit, target.spec, contract::Contract::Sandboxing);
+        report.merge(h.preflight);
+    } else {
+        shadow::ShadowOptions opts;
+        opts.emitRelationalCandidates = true;
+        shadow::ShadowHarness h =
+            shadow::buildShadowCircuit(circuit, target.spec, opts);
+        report.merge(h.preflight);
+        aopts.extraRoots = h.relationalCandidates;
+    }
+    report.merge(rtl::analysis::runAll(circuit, aopts));
+    const bool bad = report.hasErrors() || report.hasWarnings();
+    std::printf("%-10s x %-14s %s\n", target.name,
+                verif::schemeName(scheme), report.summary().c_str());
+    if (bad)
+        std::printf("%s", report.format(rtl::analysis::Severity::Warning)
+                              .c_str());
+    return bad ? 1 : 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Target targets[] = {
+        {"inorder", proc::inOrderSpec()},
+        {"simpleooo", proc::simpleOoOSpec()},
+        {"ridelite", proc::rideLiteSpec()},
+        {"boomlike", proc::boomLikeSpec()},
+    };
+    int failures = 0;
+    for (const Target &target : targets) {
+        failures += lintOne(target, verif::Scheme::ContractShadow);
+        failures += lintOne(target, verif::Scheme::Baseline);
+    }
+    if (failures)
+        std::printf("lint smoke: %d target(s) not clean\n", failures);
+    else
+        std::printf("lint smoke: all 8 targets clean\n");
+    return failures ? 1 : 0;
+}

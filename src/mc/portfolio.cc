@@ -12,6 +12,7 @@ verdictName(Verdict verdict)
       case Verdict::Proof: return "PROOF";
       case Verdict::BoundedSafe: return "BOUNDED-SAFE";
       case Verdict::Timeout: return "TIMEOUT";
+      case Verdict::Diagnosed: return "DIAGNOSED";
     }
     return "?";
 }

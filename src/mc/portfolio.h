@@ -36,6 +36,8 @@ enum class Verdict {
     Proof,       ///< unbounded proof completed
     BoundedSafe, ///< no attack up to maxDepth, no proof attempted/found
     Timeout,     ///< budget exhausted without an answer
+    Diagnosed,   ///< static pre-flight found the circuit ill-formed;
+                 ///< no engine was run (details in the lint report)
 };
 
 /** Render a verdict for tables. */

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Static-analysis pass framework over Circuits.
+ *
+ * Each pass inspects a (possibly unfinalized) Circuit and appends
+ * Diagnostics to a Report; runAll() is the driver the verification
+ * pre-flight gate and `cslv --lint` share. The passes never mutate the
+ * circuit, so they are safe to run at any construction stage and their
+ * cost is linear(-ish) in the net count - cheap enough to run before
+ * every model-checking task.
+ *
+ * Pass inventory:
+ *  - structural  combinational cycles, dangling registers, width
+ *                discipline, out-of-range operands/constants
+ *  - cone        asserts/assumes with no nondeterminism in their cone
+ *                (structurally constant properties), dead-logic counts
+ *  - vacuity     sequential constant propagation; assumes folding to
+ *                constant false (vacuous "proofs") and asserts folding
+ *                to constants
+ *  - taint       forward least-fixpoint secret-taint dataflow (see
+ *                taint_dataflow.h; driven by callers that know the
+ *                secret sources, e.g. the shadow builder)
+ */
+
+#ifndef CSL_RTL_ANALYSIS_ANALYSIS_H_
+#define CSL_RTL_ANALYSIS_ANALYSIS_H_
+
+#include <optional>
+#include <vector>
+
+#include "rtl/analysis/diagnostics.h"
+#include "rtl/circuit.h"
+
+namespace csl::rtl::analysis {
+
+/** Driver configuration for runAll(). */
+struct AnalysisOptions
+{
+    /**
+     * Nets treated as live roots in addition to every assume/assert:
+     * candidate invariants, exported observation points, ... Nets
+     * outside all root cones are reported as dead logic.
+     */
+    std::vector<NetId> extraRoots;
+    bool structural = true;
+    bool cone = true;
+    bool vacuity = true;
+};
+
+/**
+ * Structural lint: width discipline per operator, operand ordering,
+ * combinational cycles through unregistered op nets, unconnected
+ * register backedges, out-of-range constants. Reports *all* violations
+ * (Circuit::addNet's checks re-run in reporting mode, plus the checks
+ * only possible on the whole netlist).
+ */
+void structuralLint(const Circuit &circuit, Report &report);
+
+/**
+ * Cone/reachability lint: asserts (and assumes) whose cone of influence
+ * contains no free input and no symbolic-init register are structurally
+ * constant properties; nets outside every root cone are dead logic.
+ */
+void coneLint(const Circuit &circuit, const std::vector<NetId> &extra_roots,
+              Report &report);
+
+/**
+ * True when @p target lies inside the cone of influence of @p root
+ * alone (registers traversed through their next-state backedges).
+ */
+bool inCone(const Circuit &circuit, NetId root, NetId target);
+
+/**
+ * Sequential constant sweep: the optimistic least fixpoint assigning
+ * each net a known value where one exists in *every* reachable cycle
+ * (inputs and symbolic-init registers are unknown; registers are
+ * demoted when their next-state disagrees with their init). Ignores
+ * environment constraints, so a returned constant is sound.
+ */
+std::vector<std::optional<uint64_t>> foldConstants(const Circuit &circuit);
+
+/**
+ * Static assumption/assertion vacuity via foldConstants(): an assume
+ * net folding to constant false makes every property pass vacuously
+ * (Error); an assert net folding to a constant checks nothing
+ * (Warning/Error depending on polarity).
+ */
+void vacuityLint(const Circuit &circuit, Report &report);
+
+/** Run the enabled passes in order; returns the merged report. */
+Report runAll(const Circuit &circuit, const AnalysisOptions &options = {});
+
+} // namespace csl::rtl::analysis
+
+#endif // CSL_RTL_ANALYSIS_ANALYSIS_H_

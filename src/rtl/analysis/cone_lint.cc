@@ -1,0 +1,151 @@
+#include <deque>
+#include <sstream>
+
+#include "rtl/analysis/analysis.h"
+
+namespace csl::rtl::analysis {
+
+namespace {
+
+bool
+inRange(const Circuit &circuit, NetId id)
+{
+    return id >= 0 && static_cast<size_t>(id) < circuit.numNets();
+}
+
+/**
+ * BFS cone of @p root (through register next-state backedges), counting
+ * the nondeterminism sources inside it: free inputs and symbolic-init
+ * registers. Tolerant of malformed circuits (out-of-range operands are
+ * skipped; structural lint reports those).
+ */
+struct ConeFacts
+{
+    size_t nets = 0;
+    size_t inputs = 0;
+    size_t symbolicRegs = 0;
+};
+
+ConeFacts
+coneFacts(const Circuit &circuit, NetId root)
+{
+    ConeFacts facts;
+    if (!inRange(circuit, root))
+        return facts;
+    std::vector<bool> marked(circuit.numNets(), false);
+    std::deque<NetId> queue;
+    marked[root] = true;
+    queue.push_back(root);
+    while (!queue.empty()) {
+        NetId id = queue.front();
+        queue.pop_front();
+        ++facts.nets;
+        const Net &net = circuit.net(id);
+        if (net.op == Op::Input)
+            ++facts.inputs;
+        if (net.op == Op::Reg && net.symbolicInit)
+            ++facts.symbolicRegs;
+        auto push = [&](NetId operand) {
+            if (inRange(circuit, operand) && !marked[operand]) {
+                marked[operand] = true;
+                queue.push_back(operand);
+            }
+        };
+        if (net.op == Op::Reg) {
+            push(net.a);
+            continue;
+        }
+        const int arity = opArity(net.op);
+        if (arity >= 1)
+            push(net.a);
+        if (arity >= 2)
+            push(net.b);
+        if (arity >= 3)
+            push(net.c);
+    }
+    return facts;
+}
+
+} // namespace
+
+bool
+inCone(const Circuit &circuit, NetId root, NetId target)
+{
+    if (!inRange(circuit, root) || !inRange(circuit, target))
+        return false;
+    std::vector<bool> marked(circuit.numNets(), false);
+    std::deque<NetId> queue;
+    marked[root] = true;
+    queue.push_back(root);
+    while (!queue.empty()) {
+        NetId id = queue.front();
+        queue.pop_front();
+        if (id == target)
+            return true;
+        const Net &net = circuit.net(id);
+        auto push = [&](NetId operand) {
+            if (inRange(circuit, operand) && !marked[operand]) {
+                marked[operand] = true;
+                queue.push_back(operand);
+            }
+        };
+        if (net.op == Op::Reg) {
+            push(net.a);
+            continue;
+        }
+        const int arity = opArity(net.op);
+        if (arity >= 1)
+            push(net.a);
+        if (arity >= 2)
+            push(net.b);
+        if (arity >= 3)
+            push(net.c);
+    }
+    return false;
+}
+
+void
+coneLint(const Circuit &circuit, const std::vector<NetId> &extra_roots,
+         Report &report)
+{
+    // Properties whose cone carries no nondeterminism evaluate to the
+    // same value stream in every run: the assert (or assume) is
+    // structurally constant and almost certainly mis-wired.
+    auto check_constant_cone = [&](NetId id, const char *role,
+                                   Severity severity) {
+        ConeFacts facts = coneFacts(circuit, id);
+        if (facts.nets == 0 || facts.inputs > 0 || facts.symbolicRegs > 0)
+            return;
+        std::ostringstream oss;
+        oss << role << " " << circuit.name(id) << ": cone of influence ("
+            << facts.nets << " nets) contains no free input and no "
+            << "symbolic-init register - the property is structurally "
+            << "constant";
+        report.add(severity, "cone", id, oss.str());
+    };
+    for (NetId id : circuit.bads())
+        check_constant_cone(id, "assert", Severity::Warning);
+    for (NetId id : circuit.constraints())
+        check_constant_cone(id, "assume", Severity::Note);
+
+    // Dead logic: nets outside the cone of every assume/assert/extra
+    // root contribute nothing to any verification outcome.
+    std::vector<NetId> roots;
+    for (NetId id : extra_roots)
+        if (inRange(circuit, id))
+            roots.push_back(id);
+    std::vector<bool> live = circuit.coneOfInfluence(roots);
+    size_t dead = 0;
+    for (bool bit : live)
+        if (!bit)
+            ++dead;
+    if (dead > 0) {
+        std::ostringstream oss;
+        oss << dead << " of " << circuit.numNets()
+            << " nets lie outside every assume/assert/output cone "
+            << "(dead logic)";
+        report.note("cone", kNoNet, oss.str());
+    }
+}
+
+} // namespace csl::rtl::analysis

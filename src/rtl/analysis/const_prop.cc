@@ -1,0 +1,131 @@
+#include "base/bits.h"
+#include "rtl/analysis/analysis.h"
+
+namespace csl::rtl::analysis {
+
+namespace {
+
+using Value = std::optional<uint64_t>;
+
+bool
+inRange(const Circuit &circuit, NetId id)
+{
+    return id >= 0 && static_cast<size_t>(id) < circuit.numNets();
+}
+
+/**
+ * Evaluate one combinational net over the three-valued domain
+ * {known constant, unknown}. Short-circuit rules (x & 0 = 0, x | ~0 = ~0,
+ * x * 0 = 0, mux with equal known arms) recover constants even when one
+ * operand is unknown - this is what lets the pass see through the
+ * `pause ? held : next` clock-gating muxes of a disabled shadow feature.
+ */
+Value
+evalNet(const Circuit &circuit, const Net &net,
+        const std::vector<Value> &vals)
+{
+    auto operand = [&](NetId id) -> Value {
+        if (!inRange(circuit, id))
+            return std::nullopt;
+        return vals[id];
+    };
+    const uint64_t mask = maskBits(net.width);
+    const Value a = opArity(net.op) >= 1 ? operand(net.a) : std::nullopt;
+    const Value b = opArity(net.op) >= 2 ? operand(net.b) : std::nullopt;
+    const Value c = opArity(net.op) >= 3 ? operand(net.c) : std::nullopt;
+
+    switch (net.op) {
+      case Op::Const:
+        return net.imm & mask;
+      case Op::Input:
+        return std::nullopt;
+      case Op::Reg:
+        return std::nullopt; // handled by the sequential fixpoint
+      case Op::Not:
+        return a ? Value(~*a & mask) : std::nullopt;
+      case Op::And:
+        if ((a && *a == 0) || (b && *b == 0))
+            return 0;
+        return a && b ? Value(*a & *b) : std::nullopt;
+      case Op::Or:
+        if ((a && *a == mask) || (b && *b == mask))
+            return mask;
+        return a && b ? Value(*a | *b) : std::nullopt;
+      case Op::Xor:
+        return a && b ? Value((*a ^ *b) & mask) : std::nullopt;
+      case Op::Mux:
+        if (a)
+            return *a ? b : c;
+        if (b && c && *b == *c)
+            return b;
+        return std::nullopt;
+      case Op::Add:
+        return a && b ? Value((*a + *b) & mask) : std::nullopt;
+      case Op::Sub:
+        return a && b ? Value((*a - *b) & mask) : std::nullopt;
+      case Op::Mul:
+        if ((a && *a == 0) || (b && *b == 0))
+            return 0;
+        return a && b ? Value((*a * *b) & mask) : std::nullopt;
+      case Op::Eq:
+        return a && b ? Value(uint64_t(*a == *b)) : std::nullopt;
+      case Op::Ult:
+        return a && b ? Value(uint64_t(*a < *b)) : std::nullopt;
+      case Op::Concat: {
+        if (!a.has_value() || !b.has_value())
+            return std::nullopt;
+        const uint64_t hi = *a, lo = *b;
+        const int lo_width =
+            inRange(circuit, net.b) ? circuit.net(net.b).width : 0;
+        return (hi << lo_width | lo) & mask;
+      }
+      case Op::Slice:
+        return a ? Value((*a >> net.imm) & mask) : std::nullopt;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::vector<std::optional<uint64_t>>
+foldConstants(const Circuit &circuit)
+{
+    const size_t n = circuit.numNets();
+    std::vector<Value> vals(n);
+
+    // Optimistic start: every concrete-init register holds its initial
+    // value forever; symbolic-init registers are unknown from the start.
+    for (NetId reg : circuit.registers()) {
+        const Net &net = circuit.net(reg);
+        if (!net.symbolicInit)
+            vals[reg] = net.imm & maskBits(net.width);
+    }
+
+    // Demote registers whose next-state disagrees until closure. Each
+    // round either demotes at least one register or terminates, so the
+    // sweep runs at most #registers + 1 times.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 0; i < n; ++i) {
+            const Net &net = circuit.net(NetId(i));
+            if (net.op == Op::Reg || net.op == Op::Input)
+                continue;
+            vals[i] = evalNet(circuit, net, vals);
+        }
+        for (NetId reg : circuit.registers()) {
+            if (!vals[reg])
+                continue;
+            const Net &net = circuit.net(reg);
+            Value next = inRange(circuit, net.a) ? vals[net.a]
+                                                 : std::nullopt;
+            if (!next || *next != *vals[reg]) {
+                vals[reg] = std::nullopt;
+                changed = true;
+            }
+        }
+    }
+    return vals;
+}
+
+} // namespace csl::rtl::analysis

@@ -1,0 +1,105 @@
+#include "rtl/analysis/diagnostics.h"
+
+#include <sstream>
+
+namespace csl::rtl::analysis {
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+void
+Report::add(Severity severity, std::string pass, NetId net,
+            std::string message)
+{
+    diagnostics.push_back(
+        {severity, std::move(pass), net, std::move(message)});
+}
+
+void
+Report::note(std::string pass, NetId net, std::string message)
+{
+    add(Severity::Note, std::move(pass), net, std::move(message));
+}
+
+void
+Report::warn(std::string pass, NetId net, std::string message)
+{
+    add(Severity::Warning, std::move(pass), net, std::move(message));
+}
+
+void
+Report::error(std::string pass, NetId net, std::string message)
+{
+    add(Severity::Error, std::move(pass), net, std::move(message));
+}
+
+void
+Report::merge(const Report &other)
+{
+    diagnostics.insert(diagnostics.end(), other.diagnostics.begin(),
+                       other.diagnostics.end());
+}
+
+size_t
+Report::count(Severity severity) const
+{
+    size_t n = 0;
+    for (const Diagnostic &d : diagnostics)
+        if (d.severity == severity)
+            ++n;
+    return n;
+}
+
+std::string
+Report::summary() const
+{
+    const size_t errors = count(Severity::Error);
+    const size_t warnings = count(Severity::Warning);
+    const size_t notes = count(Severity::Note);
+    if (errors == 0 && warnings == 0)
+        return notes == 0 ? "clean" : "clean (" + std::to_string(notes) +
+                                          " notes)";
+    std::ostringstream oss;
+    const char *sep = "";
+    if (errors) {
+        oss << errors << (errors == 1 ? " error" : " errors");
+        sep = ", ";
+    }
+    if (warnings) {
+        oss << sep << warnings
+            << (warnings == 1 ? " warning" : " warnings");
+        sep = ", ";
+    }
+    if (notes)
+        oss << sep << notes << (notes == 1 ? " note" : " notes");
+    return oss.str();
+}
+
+std::string
+Report::format() const
+{
+    return format(Severity::Note);
+}
+
+std::string
+Report::format(Severity min) const
+{
+    std::ostringstream oss;
+    for (const Diagnostic &d : diagnostics) {
+        if (d.severity < min)
+            continue;
+        oss << severityName(d.severity) << " [" << d.pass << "] "
+            << d.message << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace csl::rtl::analysis

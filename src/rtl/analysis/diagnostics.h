@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Diagnostic report types shared by every static-analysis pass.
+ *
+ * A pass appends Diagnostics to a Report instead of asserting, so one
+ * run surfaces *every* violation with its net name - the fail-fast
+ * behaviour the engines need is layered on top (Circuit::finalize()
+ * panics with the full formatted report when any Error is present).
+ */
+
+#ifndef CSL_RTL_ANALYSIS_DIAGNOSTICS_H_
+#define CSL_RTL_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "rtl/net.h"
+
+namespace csl::rtl::analysis {
+
+/** How bad a finding is. */
+enum class Severity {
+    Note,    ///< informational (statistics, clean-pass summaries)
+    Warning, ///< suspicious but not fatal (vacuous assert, dead logic)
+    Error,   ///< structurally broken; verification results untrustworthy
+};
+
+const char *severityName(Severity severity);
+
+/** One finding of one pass, anchored at one net. */
+struct Diagnostic
+{
+    Severity severity = Severity::Note;
+    std::string pass;    ///< pass short-name ("structural", "vacuity", ...)
+    NetId net = kNoNet;  ///< offending net (kNoNet for circuit-wide facts)
+    std::string message; ///< human-readable, net names already resolved
+};
+
+/** An ordered collection of diagnostics with formatting helpers. */
+struct Report
+{
+    std::vector<Diagnostic> diagnostics;
+
+    void add(Severity severity, std::string pass, NetId net,
+             std::string message);
+    void note(std::string pass, NetId net, std::string message);
+    void warn(std::string pass, NetId net, std::string message);
+    void error(std::string pass, NetId net, std::string message);
+
+    /** Append all of @p other's diagnostics. */
+    void merge(const Report &other);
+
+    size_t count(Severity severity) const;
+    bool hasErrors() const { return count(Severity::Error) > 0; }
+    bool hasWarnings() const { return count(Severity::Warning) > 0; }
+    bool empty() const { return diagnostics.empty(); }
+
+    /** "clean" or e.g. "2 errors, 1 warning, 3 notes". */
+    std::string summary() const;
+
+    /** Multi-line rendering, one "severity [pass] message" per line. */
+    std::string format() const;
+
+    /** format() restricted to diagnostics at least as severe as @p min. */
+    std::string format(Severity min) const;
+};
+
+} // namespace csl::rtl::analysis
+
+#endif // CSL_RTL_ANALYSIS_DIAGNOSTICS_H_

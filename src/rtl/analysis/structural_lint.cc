@@ -1,0 +1,244 @@
+#include <algorithm>
+#include <sstream>
+
+#include "base/bits.h"
+#include "rtl/analysis/analysis.h"
+
+namespace csl::rtl::analysis {
+
+namespace {
+
+/** True when @p id names an existing net of @p circuit. */
+bool
+inRange(const Circuit &circuit, NetId id)
+{
+    return id >= 0 && static_cast<size_t>(id) < circuit.numNets();
+}
+
+std::string
+describe(const Circuit &circuit, NetId id)
+{
+    return "net " + circuit.name(id) + " (id " + std::to_string(id) + ")";
+}
+
+/**
+ * Depth-first search over combinational edges (every operand edge except
+ * a register's next-state backedge), reporting each cycle once.
+ */
+void
+findCombinationalCycles(const Circuit &circuit, Report &report)
+{
+    const size_t n = circuit.numNets();
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    std::vector<uint8_t> color(n, 0);
+    std::vector<NetId> stack, path;
+
+    auto operands = [&](NetId id, NetId out[3]) -> int {
+        const Net &net = circuit.net(id);
+        if (net.op == Op::Reg)
+            return 0; // sequential edge: registers legally close loops
+        int count = 0;
+        const int arity = opArity(net.op);
+        if (arity >= 1)
+            out[count++] = net.a;
+        if (arity >= 2)
+            out[count++] = net.b;
+        if (arity >= 3)
+            out[count++] = net.c;
+        return count;
+    };
+
+    for (size_t root = 0; root < n; ++root) {
+        if (color[root] != 0)
+            continue;
+        // Iterative DFS keeping the explicit path for cycle reporting.
+        struct Frame
+        {
+            NetId id;
+            int next = 0;
+        };
+        std::vector<Frame> frames;
+        frames.push_back({static_cast<NetId>(root)});
+        color[root] = 1;
+        path.push_back(static_cast<NetId>(root));
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            NetId ops[3];
+            const int arity = operands(f.id, ops);
+            if (f.next >= arity) {
+                color[f.id] = 2;
+                frames.pop_back();
+                path.pop_back();
+                continue;
+            }
+            NetId next = ops[f.next++];
+            if (!inRange(circuit, next))
+                continue; // reported separately
+            if (color[next] == 1) {
+                // Found a cycle: the path suffix from `next` to f.id.
+                std::ostringstream oss;
+                oss << "combinational cycle through unregistered nets: ";
+                auto it = std::find(path.begin(), path.end(), next);
+                size_t shown = 0;
+                for (; it != path.end() && shown < 8; ++it, ++shown)
+                    oss << circuit.name(*it) << " -> ";
+                oss << circuit.name(next);
+                report.error("structural", next, oss.str());
+                continue;
+            }
+            if (color[next] == 0) {
+                color[next] = 1;
+                path.push_back(next);
+                frames.push_back({next});
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+structuralLint(const Circuit &circuit, Report &report)
+{
+    const size_t n = circuit.numNets();
+    for (size_t i = 0; i < n; ++i) {
+        const NetId id = static_cast<NetId>(i);
+        const Net &net = circuit.net(id);
+        const int arity = opArity(net.op);
+
+        if (net.width < 1 || net.width > kMaxNetWidth) {
+            report.error("structural", id,
+                         describe(circuit, id) + ": width " +
+                             std::to_string(int(net.width)) +
+                             " out of range [1, 64]");
+            continue;
+        }
+
+        // Operand sanity; width checks only run on in-range operands.
+        bool operands_ok = true;
+        auto check_operand = [&](NetId operand, const char *slot) {
+            if (net.op == Op::Reg)
+                return; // the backedge is checked below
+            if (!inRange(circuit, operand)) {
+                report.error("structural", id,
+                             describe(circuit, id) + ": operand " +
+                                 std::string(slot) + " = " +
+                                 std::to_string(operand) +
+                                 " is out of range");
+                operands_ok = false;
+            } else if (operand >= id) {
+                report.error("structural", id,
+                             describe(circuit, id) + ": operand " +
+                                 std::string(slot) + " references " +
+                                 circuit.name(operand) +
+                                 ", a later net (evaluation order "
+                                 "violated)");
+            }
+        };
+        if (arity >= 1)
+            check_operand(net.a, "a");
+        if (arity >= 2)
+            check_operand(net.b, "b");
+        if (arity >= 3)
+            check_operand(net.c, "c");
+        if (!operands_ok)
+            continue;
+
+        auto width_of = [&](NetId operand) {
+            return int(circuit.net(operand).width);
+        };
+        auto mismatch = [&](const std::string &what) {
+            report.error("structural", id,
+                         describe(circuit, id) + ": " + what);
+        };
+        switch (net.op) {
+          case Op::Const:
+            if (net.imm != truncBits(net.imm, net.width))
+                mismatch("constant value wider than declared width");
+            break;
+          case Op::Input:
+            break;
+          case Op::Reg:
+            if (net.a == kNoNet) {
+                report.error("structural", id,
+                             "register " + circuit.name(id) +
+                                 " has no next-state net (connectReg "
+                                 "never called)");
+            } else if (!inRange(circuit, net.a)) {
+                mismatch("next-state operand out of range");
+            } else if (width_of(net.a) != net.width) {
+                mismatch("next-state width " +
+                         std::to_string(width_of(net.a)) +
+                         " != register width " +
+                         std::to_string(int(net.width)));
+            }
+            if (!net.symbolicInit &&
+                net.imm != truncBits(net.imm, net.width))
+                mismatch("initial value wider than declared width");
+            break;
+          case Op::Not:
+            if (width_of(net.a) != net.width)
+                mismatch("operand width mismatch");
+            break;
+          case Op::And:
+          case Op::Or:
+          case Op::Xor:
+          case Op::Add:
+          case Op::Sub:
+          case Op::Mul:
+            if (width_of(net.a) != net.width ||
+                width_of(net.b) != net.width)
+                mismatch(std::string(opName(net.op)) +
+                         " operand width mismatch");
+            break;
+          case Op::Eq:
+          case Op::Ult:
+            if (net.width != 1)
+                mismatch(std::string(opName(net.op)) +
+                         " result must be 1 bit");
+            if (width_of(net.a) != width_of(net.b))
+                mismatch(std::string(opName(net.op)) +
+                         " operand width mismatch");
+            break;
+          case Op::Mux:
+            if (width_of(net.a) != 1)
+                mismatch("mux select must be 1 bit");
+            if (width_of(net.b) != net.width ||
+                width_of(net.c) != net.width)
+                mismatch("mux arm width mismatch");
+            break;
+          case Op::Concat:
+            if (width_of(net.a) + width_of(net.b) != net.width)
+                mismatch("concat width mismatch");
+            break;
+          case Op::Slice:
+            if (net.imm + net.width > uint64_t(width_of(net.a)))
+                mismatch("slice out of range");
+            break;
+        }
+    }
+
+    // Role nets must exist and be single-bit.
+    auto check_role = [&](const std::vector<NetId> &nets,
+                          const char *role) {
+        for (NetId id : nets) {
+            if (!inRange(circuit, id)) {
+                report.error("structural", id,
+                             std::string(role) + " net id " +
+                                 std::to_string(id) + " is out of range");
+            } else if (circuit.net(id).width != 1) {
+                report.error("structural", id,
+                             std::string(role) + " " +
+                                 describe(circuit, id) +
+                                 " must be 1 bit");
+            }
+        }
+    };
+    check_role(circuit.constraints(), "constraint");
+    check_role(circuit.initConstraints(), "init constraint");
+    check_role(circuit.bads(), "bad");
+
+    findCombinationalCycles(circuit, report);
+}
+
+} // namespace csl::rtl::analysis

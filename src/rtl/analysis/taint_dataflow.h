@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Static secret-taint dataflow over the word-level IR.
+ *
+ * A forward least-fixpoint GLIFT-style analysis: taint enters at the
+ * designated source nets (the secret-region memory words in the
+ * verification circuits), flows through every combinational operator
+ * whose operand carries taint, and around register backedges until the
+ * fixpoint. The result over-approximates the dynamic taint monitor of
+ * `OoOConfig::taint` (paper Section 8): any bit the monitor can ever
+ * raise corresponds to a net this analysis marks tainted, at zero
+ * circuit cost (no monitor registers in the model-checked netlist).
+ *
+ * Contract awareness: the verification schemes *assume* cross-copy
+ * equality of the committed ISA observations (the contract constraint
+ * check), so for relational reasoning those observation nets act as
+ * declassification points. Callers list them as `sanitizers`; their
+ * taint is forced clear before propagation continues downstream. The
+ * facts derived this way are *relational* ("equal across copies", not
+ * "secret-independent") and are therefore only used to seed candidate
+ * invariants that the Houdini pruning still validates - a wrong
+ * sanitizer costs completeness, never soundness.
+ */
+
+#ifndef CSL_RTL_ANALYSIS_TAINT_DATAFLOW_H_
+#define CSL_RTL_ANALYSIS_TAINT_DATAFLOW_H_
+
+#include <vector>
+
+#include "rtl/analysis/diagnostics.h"
+#include "rtl/circuit.h"
+
+namespace csl::rtl::analysis {
+
+/** Taint-analysis configuration. */
+struct TaintOptions
+{
+    /** Nets where secret taint originates (secret memory words). */
+    std::vector<NetId> sources;
+    /**
+     * Observation points whose taint is cleared (contract-equalized
+     * commit observations). Empty for plain secret-flow analysis.
+     */
+    std::vector<NetId> sanitizers;
+};
+
+/** Per-net taint facts (indexed by NetId). */
+struct TaintFacts
+{
+    std::vector<bool> tainted;
+    size_t taintedCount = 0;
+    size_t iterations = 0; ///< fixpoint sweeps until closure
+
+    bool isTainted(NetId id) const
+    {
+        return id >= 0 && static_cast<size_t>(id) < tainted.size() &&
+               tainted[id];
+    }
+};
+
+/** Compute the least fixpoint of forward taint propagation. */
+TaintFacts taintDataflow(const Circuit &circuit,
+                         const TaintOptions &options);
+
+/**
+ * Report-level summary of @p facts: per-circuit taint counts, plus a
+ * warning when secret sources exist but no assert cone ever observes
+ * them (the property cannot depend on the secret - a mis-wired
+ * verification harness).
+ */
+void taintLint(const Circuit &circuit, const TaintFacts &facts,
+               const TaintOptions &options, Report &report);
+
+} // namespace csl::rtl::analysis
+
+#endif // CSL_RTL_ANALYSIS_TAINT_DATAFLOW_H_

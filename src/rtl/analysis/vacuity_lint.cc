@@ -1,0 +1,81 @@
+#include <sstream>
+
+#include "rtl/analysis/analysis.h"
+
+namespace csl::rtl::analysis {
+
+void
+vacuityLint(const Circuit &circuit, Report &report)
+{
+    const std::vector<std::optional<uint64_t>> vals =
+        foldConstants(circuit);
+    auto value = [&](NetId id) -> std::optional<uint64_t> {
+        if (id < 0 || static_cast<size_t>(id) >= vals.size())
+            return std::nullopt;
+        return vals[id];
+    };
+
+    for (NetId id : circuit.constraints()) {
+        std::optional<uint64_t> v = value(id);
+        if (!v)
+            continue;
+        if (*v == 0)
+            report.error("vacuity", id,
+                         "assume " + circuit.name(id) +
+                             " folds to constant false: the environment "
+                             "is empty and every property holds "
+                             "vacuously");
+        else
+            report.note("vacuity", id,
+                        "assume " + circuit.name(id) +
+                            " folds to constant true (redundant)");
+    }
+    for (NetId id : circuit.initConstraints()) {
+        std::optional<uint64_t> v = value(id);
+        if (v && *v == 0)
+            report.error("vacuity", id,
+                         "init assume " + circuit.name(id) +
+                             " folds to constant false: no initial "
+                             "state satisfies the environment");
+    }
+    for (NetId id : circuit.bads()) {
+        std::optional<uint64_t> v = value(id);
+        if (!v)
+            continue;
+        if (*v == 0)
+            report.warn("vacuity", id,
+                        "assert " + circuit.name(id) +
+                            " folds to constant true: the property "
+                            "checks nothing");
+        else
+            report.error("vacuity", id,
+                         "assert " + circuit.name(id) +
+                             " folds to constant false: the bad state "
+                             "is reached in every cycle");
+    }
+}
+
+Report
+runAll(const Circuit &circuit, const AnalysisOptions &options)
+{
+    Report report;
+    if (options.structural) {
+        structuralLint(circuit, report);
+        if (report.hasErrors()) {
+            // Downstream passes assume a structurally sane netlist
+            // (in-range operands, registered cycles only); stop here so
+            // the user sees the root cause, not knock-on effects.
+            report.note("driver", kNoNet,
+                        "structural errors present; cone/vacuity passes "
+                        "skipped");
+            return report;
+        }
+    }
+    if (options.cone)
+        coneLint(circuit, options.extraRoots, report);
+    if (options.vacuity)
+        vacuityLint(circuit, report);
+    return report;
+}
+
+} // namespace csl::rtl::analysis

@@ -4,6 +4,7 @@
 
 #include "base/bits.h"
 #include "base/logging.h"
+#include "rtl/analysis/analysis.h"
 
 namespace csl::rtl {
 
@@ -85,6 +86,19 @@ Circuit::addNet(const Net &net)
     return id;
 }
 
+NetId
+Circuit::addNetUnchecked(const Net &net)
+{
+    csl_assert(!finalized_, "cannot add nets to a finalized circuit");
+    const NetId id = static_cast<NetId>(nets_.size());
+    nets_.push_back(net);
+    if (net.op == Op::Reg)
+        registers_.push_back(id);
+    else if (net.op == Op::Input)
+        inputs_.push_back(id);
+    return id;
+}
+
 void
 Circuit::connectReg(NetId reg, NetId next)
 {
@@ -151,10 +165,12 @@ void
 Circuit::finalize()
 {
     csl_assert(!finalized_, "circuit already finalized");
-    for (NetId reg : registers_) {
-        csl_assert(nets_[reg].a != kNoNet,
-                   "register ", name(reg), " has no next-state net");
-    }
+    analysis::Report report;
+    analysis::structuralLint(*this, report);
+    if (report.hasErrors())
+        csl_panic("circuit validation failed (", report.summary(),
+                  "):\n",
+                  report.format(analysis::Severity::Error));
     finalized_ = true;
 }
 

@@ -40,6 +40,15 @@ class Circuit
     /** Append a net; returns its id. Operands must already exist. */
     NetId addNet(const Net &net);
 
+    /**
+     * Append a net with *no* validation (role bookkeeping still
+     * happens). For importers, fuzzers and lint tests that need to
+     * materialize malformed netlists; analysis::structuralLint reports
+     * what addNet() would have rejected. Engines must never see such a
+     * circuit without a clean lint run.
+     */
+    NetId addNetUnchecked(const Net &net);
+
     /** Connect register @p reg's next-state input to @p next. */
     void connectReg(NetId reg, NetId next);
 
@@ -61,7 +70,12 @@ class Circuit
     /** Look up a net id by exact name; kNoNet when absent. */
     NetId findByName(const std::string &name) const;
 
-    /** Validate structure; must be called before simulation/bit-blasting. */
+    /**
+     * Validate structure; must be called before simulation/bit-blasting.
+     * A fail-fast wrapper over analysis::structuralLint(): every
+     * violation is collected (with net names) and reported in one
+     * panic message instead of stopping at the first.
+     */
     void finalize();
 
     bool finalized() const { return finalized_; }

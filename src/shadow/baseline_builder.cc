@@ -2,6 +2,8 @@
 
 #include "base/logging.h"
 #include "proc/isa_machine.h"
+#include "rtl/analysis/analysis.h"
+#include "rtl/analysis/taint_dataflow.h"
 #include "rtl/builder.h"
 
 namespace csl::shadow {
@@ -74,6 +76,30 @@ buildBaselineCircuit(rtl::Circuit &circuit, const proc::CoreSpec &spec,
     h.uarchDiff = uarch_diff.id;
     h.leak = bad.id;
     b.finish();
+
+    // --- Scheme-aware static pre-flight --------------------------------------
+    // The four-machine scheme has no pause/drain machinery; what can go
+    // wrong structurally is a leakage assertion that never observes the
+    // secret (e.g. a mis-wired observation tap) or one that folds to a
+    // constant. Both are caught by the taint/constant sweeps.
+    rtl::analysis::TaintOptions topts;
+    for (size_t i = ic.secretStart(); i < ic.dmemSize; ++i) {
+        topts.sources.push_back(h.cpu1.dmemWords[i].id);
+        topts.sources.push_back(h.cpu2.dmemWords[i].id);
+        topts.sources.push_back(h.isa1.dmemWords[i].id);
+        topts.sources.push_back(h.isa2.dmemWords[i].id);
+    }
+    rtl::analysis::TaintFacts facts =
+        rtl::analysis::taintDataflow(circuit, topts);
+    rtl::analysis::taintLint(circuit, facts, topts, h.preflight);
+    const auto folded = rtl::analysis::foldConstants(circuit);
+    if (folded[h.uarchDiff].has_value())
+        h.preflight.warn(
+            "baseline-config", h.uarchDiff,
+            "microarchitectural observation difference folds to "
+            "constant " +
+                std::to_string(*folded[h.uarchDiff]) +
+                ": the leakage check compares nothing");
     return h;
 }
 

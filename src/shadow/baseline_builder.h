@@ -12,6 +12,7 @@
 #include "contract/contract.h"
 #include "proc/core_ifc.h"
 #include "proc/presets.h"
+#include "rtl/analysis/diagnostics.h"
 #include "rtl/circuit.h"
 
 namespace csl::shadow {
@@ -24,6 +25,8 @@ struct BaselineHarness
     rtl::NetId isaDiff = rtl::kNoNet;
     rtl::NetId uarchDiff = rtl::kNoNet;
     rtl::NetId leak = rtl::kNoNet;
+    /** Scheme-aware static pre-flight findings (see ShadowHarness). */
+    rtl::analysis::Report preflight;
 };
 
 /**

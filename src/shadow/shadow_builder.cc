@@ -1,6 +1,10 @@
 #include "shadow/shadow_builder.h"
 
+#include <algorithm>
+
 #include "base/logging.h"
+#include "rtl/analysis/analysis.h"
+#include "rtl/analysis/taint_dataflow.h"
 #include "rtl/builder.h"
 
 namespace csl::shadow {
@@ -304,6 +308,75 @@ buildShadowCircuit(rtl::Circuit &circuit, const proc::CoreSpec &spec,
     }
 
     b.finish();
+
+    // --- Scheme-aware static pre-flight --------------------------------------
+    // Run after finish() so memory write muxes are sealed and every
+    // next-state edge exists; all of this is read-only analysis.
+
+    // Ablation misconfigurations, caught without touching a SAT engine:
+    // a pause net folding to a constant means the synchronization
+    // requirement is unenforced; a leakage assertion whose cone misses
+    // the drained flag means the instruction-inclusion requirement is
+    // unenforced. Both admit spurious counterexamples (paper Section
+    // 5.2), which is exactly what the ablation benches demonstrate.
+    const auto folded = rtl::analysis::foldConstants(circuit);
+    auto check_pause = [&](rtl::NetId pause_net, const char *which) {
+        if (folded[pause_net].has_value())
+            h.preflight.warn(
+                "shadow-config", pause_net,
+                std::string("pause net ") + circuit.name(pause_net) +
+                    " folds to constant " +
+                    std::to_string(*folded[pause_net]) + ": the " +
+                    which +
+                    " copy is never realigned (synchronization "
+                    "requirement disabled - expect spurious "
+                    "counterexamples)");
+    };
+    check_pause(h.pause1, "first");
+    check_pause(h.pause2, "second");
+    if (!rtl::analysis::inCone(circuit, h.leak, h.drained))
+        h.preflight.warn(
+            "shadow-config", h.leak,
+            "leakage assertion cone does not contain the drained flag: "
+            "the instruction-inclusion requirement is unenforced "
+            "(divergences are reported before their in-flight "
+            "instructions pass the contract check)");
+
+    // Static secret-taint dataflow, contract-aware: secrets originate
+    // at the secret-region memory words of both copies; the committed
+    // ISA observations are constraint-equalized across copies, so they
+    // act as declassification points for *relational* facts.
+    rtl::analysis::TaintOptions topts;
+    for (size_t i = ic.secretStart(); i < ic.dmemSize; ++i) {
+        topts.sources.push_back(h.cpu1.dmemWords[i].id);
+        topts.sources.push_back(h.cpu2.dmemWords[i].id);
+    }
+    for (int k = 0; k < max_push; ++k) {
+        topts.sanitizers.push_back(px1[k].id);
+        topts.sanitizers.push_back(px2[k].id);
+    }
+    rtl::analysis::TaintFacts facts =
+        rtl::analysis::taintDataflow(circuit, topts);
+    rtl::analysis::taintLint(circuit, facts, topts, h.preflight);
+
+    // Seed the proof pipeline: candidates outside the secret's reach
+    // can only be falsified by microarchitectural skew, never by the
+    // secret itself, so they are the cheapest invariants to close.
+    // Order them first; Houdini's fixpoint is order-independent, so
+    // this cannot regress any currently-closing proof.
+    if (!h.relationalCandidates.empty()) {
+        auto mid = std::stable_partition(
+            h.relationalCandidates.begin(), h.relationalCandidates.end(),
+            [&](rtl::NetId cand) { return !facts.isTainted(cand); });
+        h.staticSeedCount =
+            size_t(mid - h.relationalCandidates.begin());
+        h.preflight.note(
+            "taint", rtl::kNoNet,
+            std::to_string(h.staticSeedCount) + " of " +
+                std::to_string(h.relationalCandidates.size()) +
+                " candidate invariants are statically secret-free "
+                "(untainted -> equal seeds)");
+    }
     return h;
 }
 

@@ -28,6 +28,7 @@
 #include "contract/contract.h"
 #include "proc/core_ifc.h"
 #include "proc/presets.h"
+#include "rtl/analysis/diagnostics.h"
 #include "rtl/circuit.h"
 
 namespace csl::shadow {
@@ -88,6 +89,21 @@ struct ShadowHarness
      * wider invariant window is worth escalating to.
      */
     rtl::NetId quiescentCandidate = rtl::kNoNet;
+    /**
+     * Scheme-aware static pre-flight findings: disabled pause machinery
+     * (pause nets folding to constant), a leakage assertion whose cone
+     * misses the drain check, secret-taint reachability facts. Merged
+     * with the generic lint report by runVerification and `cslv --lint`.
+     */
+    rtl::analysis::Report preflight;
+    /**
+     * Leading candidates in relationalCandidates that the static
+     * secret-taint dataflow proves independent of (or contract-
+     * declassified from) the secret region - the `untainted -> equal`
+     * seeds. They replace the dynamic taint-monitor bits at zero
+     * circuit cost; Houdini still validates them like any candidate.
+     */
+    size_t staticSeedCount = 0;
 };
 
 /**

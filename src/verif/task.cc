@@ -9,6 +9,7 @@
 #include "isa/isa.h"
 #include "leave/invariant_search.h"
 #include "mc/trace.h"
+#include "rtl/analysis/analysis.h"
 #include "shadow/baseline_builder.h"
 #include "shadow/shadow_builder.h"
 #include "sim/simulator.h"
@@ -100,6 +101,8 @@ runModelChecking(const VerificationTask &task)
     proc::CoreIfc cpu1, cpu2;
     std::vector<rtl::NetId> candidates;
     rtl::NetId quiescent = rtl::kNoNet;
+    rtl::analysis::Report preflight;
+    size_t static_seeds = 0;
     const isa::IsaConfig &ic = task.core.isaConfig();
     const bool strengthen = task.autoStrengthen && task.tryProof &&
                             task.scheme != Scheme::Baseline;
@@ -109,6 +112,7 @@ runModelChecking(const VerificationTask &task)
             circuit, task.core, task.contract, task.assumeSecretsDiffer);
         cpu1 = h.cpu1;
         cpu2 = h.cpu2;
+        preflight = h.preflight;
     } else {
         shadow::ShadowOptions sopts;
         sopts.contract = task.contract;
@@ -126,9 +130,38 @@ runModelChecking(const VerificationTask &task)
         cpu2 = h.cpu2;
         candidates = h.relationalCandidates;
         quiescent = h.quiescentCandidate;
+        preflight = h.preflight;
+        static_seeds = h.staticSeedCount;
     }
 
     VerificationResult result;
+
+    // --- Static pre-flight gate -----------------------------------------
+    // Cheap linear passes that catch structural mistakes (vacuous
+    // assumes, input-free assert cones, mis-wired shadow machinery)
+    // before minutes of SAT budget are burned on them.
+    std::string preflight_note;
+    if (task.preflight) {
+        rtl::analysis::AnalysisOptions aopts;
+        aopts.extraRoots = candidates;
+        rtl::analysis::Report report =
+            rtl::analysis::runAll(circuit, aopts);
+        report.merge(preflight);
+        if (report.hasErrors()) {
+            result.verdict = Verdict::Diagnosed;
+            result.seconds = watch.seconds();
+            result.detail = "pre-flight failed (" + report.summary() +
+                            "):\n" +
+                            report.format(rtl::analysis::Severity::Warning);
+            return result;
+        }
+        preflight_note = "preflight " + report.summary();
+        if (strengthen && !candidates.empty())
+            preflight_note += ", " + std::to_string(static_seeds) + "/" +
+                              std::to_string(candidates.size()) +
+                              " static secret-free seeds";
+    }
+
     mc::CheckOptions copts;
     copts.maxDepth = task.maxDepth;
     copts.tryProof = task.tryProof;
@@ -186,6 +219,11 @@ runModelChecking(const VerificationTask &task)
     result.seconds = watch.seconds();
     result.depth = cres.depth;
     result.conflicts = cres.conflicts;
+    if (!preflight_note.empty()) {
+        if (!result.detail.empty())
+            result.detail += "; ";
+        result.detail += preflight_note;
+    }
     if (cres.verdict == Verdict::Attack && cres.trace)
         result.attackReport =
             decodeAttack(circuit, *cres.trace, cpu1, cpu2, ic);

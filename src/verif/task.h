@@ -47,6 +47,16 @@ struct VerificationTask
     /** Skip the proof engine (attack hunting only). */
     bool tryProof = true;
     /**
+     * Static pre-flight gate: lint the verification circuit (structure,
+     * cone reachability, assumption vacuity, scheme-aware shadow checks)
+     * before any bit-blasting. Errors short-circuit the run to
+     * Verdict::Diagnosed with the report in VerificationResult::detail;
+     * warnings and the report summary ride along in detail either way.
+     * Costs one linear sweep over the netlist (well under 1% of any
+     * model-checking run).
+     */
+    bool preflight = true;
+    /**
      * Automatic relational strengthening before induction: Houdini-prune
      * the shadow builder's candidate invariants and assume the survivors
      * in the induction step. This is the ingredient that lets unbounded

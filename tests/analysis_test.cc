@@ -1,0 +1,439 @@
+// Tests for the static-analysis subsystem (src/rtl/analysis): the
+// diagnostics engine, the lint passes on hand-built known-bad circuits,
+// the static secret-taint dataflow (cross-checked against the dynamic
+// OoOConfig::taint monitor), and the pre-flight gate integration.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "proc/presets.h"
+#include "rtl/analysis/analysis.h"
+#include "rtl/analysis/taint_dataflow.h"
+#include "rtl/builder.h"
+#include "shadow/shadow_builder.h"
+#include "sim/simulator.h"
+#include "verif/task.h"
+
+namespace csl {
+namespace {
+
+using rtl::Circuit;
+using rtl::kNoNet;
+using rtl::Net;
+using rtl::NetId;
+using rtl::Op;
+using rtl::Sig;
+using rtl::analysis::AnalysisOptions;
+using rtl::analysis::Report;
+using rtl::analysis::Severity;
+
+/** True when some diagnostic of @p report matches pass and substring. */
+bool
+hasDiagnostic(const Report &report, Severity severity,
+              const std::string &pass, const std::string &substring)
+{
+    for (const auto &d : report.diagnostics) {
+        if (d.severity == severity && d.pass == pass &&
+            d.message.find(substring) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+TEST(Diagnostics, SummaryAndFormat)
+{
+    Report report;
+    EXPECT_TRUE(report.empty());
+    EXPECT_EQ(report.summary(), "clean");
+    report.error("structural", 3, "net x: broken");
+    report.warn("vacuity", 4, "assert y: trivial");
+    report.note("cone", kNoNet, "5 dead nets");
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(report.hasWarnings());
+    EXPECT_EQ(report.summary(), "1 error, 1 warning, 1 note");
+    EXPECT_NE(report.format().find("error [structural] net x: broken"),
+              std::string::npos);
+    // Severity filter drops the note.
+    EXPECT_EQ(report.format(Severity::Warning).find("dead nets"),
+              std::string::npos);
+
+    Report other;
+    other.error("vacuity", 1, "more");
+    report.merge(other);
+    EXPECT_EQ(report.count(Severity::Error), 2u);
+}
+
+TEST(StructuralLint, CombinationalLoopDetected)
+{
+    // a = and(b, c); b = not(a): a cycle with no register on it. Only
+    // constructible through the unchecked API (addNet enforces order).
+    Circuit circuit;
+    Net konst;
+    konst.op = Op::Const;
+    konst.width = 1;
+    konst.imm = 1;
+    NetId c = circuit.addNet(konst);
+    Net a_net;
+    a_net.op = Op::And;
+    a_net.width = 1;
+    a_net.a = 2; // forward reference to b
+    a_net.b = c;
+    NetId a = circuit.addNetUnchecked(a_net);
+    Net b_net;
+    b_net.op = Op::Not;
+    b_net.width = 1;
+    b_net.a = a;
+    circuit.addNetUnchecked(b_net);
+
+    Report report;
+    rtl::analysis::structuralLint(circuit, report);
+    EXPECT_TRUE(hasDiagnostic(report, Severity::Error, "structural",
+                              "combinational cycle"));
+    EXPECT_TRUE(hasDiagnostic(report, Severity::Error, "structural",
+                              "later net"));
+}
+
+TEST(StructuralLint, DanglingRegisterReported)
+{
+    Circuit circuit;
+    Net reg;
+    reg.op = Op::Reg;
+    reg.width = 4;
+    NetId r = circuit.addNet(reg);
+    circuit.setName(r, "orphan");
+
+    Report report;
+    rtl::analysis::structuralLint(circuit, report);
+    EXPECT_TRUE(hasDiagnostic(report, Severity::Error, "structural",
+                              "orphan"));
+    EXPECT_TRUE(hasDiagnostic(report, Severity::Error, "structural",
+                              "no next-state net"));
+}
+
+TEST(StructuralLint, ReportsEveryViolationNotJustTheFirst)
+{
+    // Two dangling registers and one width-mismatched operator: three
+    // diagnostics, each naming its net - where finalize() used to stop
+    // at the first assertion.
+    Circuit circuit;
+    Net reg;
+    reg.op = Op::Reg;
+    reg.width = 4;
+    NetId r1 = circuit.addNet(reg);
+    NetId r2 = circuit.addNet(reg);
+    circuit.setName(r1, "dangling1");
+    circuit.setName(r2, "dangling2");
+    Net bad_not;
+    bad_not.op = Op::Not;
+    bad_not.width = 2; // operand is 4 bits wide
+    bad_not.a = r1;
+    circuit.addNetUnchecked(bad_not);
+
+    Report report;
+    rtl::analysis::structuralLint(circuit, report);
+    EXPECT_EQ(report.count(Severity::Error), 3u);
+    EXPECT_TRUE(hasDiagnostic(report, Severity::Error, "structural",
+                              "dangling1"));
+    EXPECT_TRUE(hasDiagnostic(report, Severity::Error, "structural",
+                              "dangling2"));
+    EXPECT_TRUE(hasDiagnostic(report, Severity::Error, "structural",
+                              "width mismatch"));
+}
+
+TEST(StructuralLint, FinalizeStillFailsFastWithNetNames)
+{
+    Circuit circuit;
+    rtl::Builder b(circuit);
+    b.reg("unfinished", 3);
+    EXPECT_DEATH(b.finish(), "no next-state net");
+}
+
+TEST(ConstProp, RegistersFoldThroughTheSequentialFixpoint)
+{
+    Circuit circuit;
+    rtl::Builder b(circuit);
+    // held: init 0, next-state = itself -> constant 0 forever.
+    Sig held = b.reg("held", 1, 0);
+    b.connect(held, held);
+    // counter: init 0, increments -> must demote to unknown.
+    Sig counter = b.reg("counter", 4, 0);
+    b.connect(counter, b.addConst(counter, 1));
+    // gate = mux(held, counter-derived, 0) -> constant 0 despite the
+    // unknown arm (select is known).
+    Sig gate = b.mux(held, b.redOr(counter), b.zero());
+    b.assume(b.notOf(gate), "gate.off");
+    b.finish();
+
+    auto vals = rtl::analysis::foldConstants(circuit);
+    ASSERT_TRUE(vals[held.id].has_value());
+    EXPECT_EQ(*vals[held.id], 0u);
+    EXPECT_FALSE(vals[counter.id].has_value());
+    ASSERT_TRUE(vals[gate.id].has_value());
+    EXPECT_EQ(*vals[gate.id], 0u);
+}
+
+TEST(VacuityLint, ConstantFalseAssumeIsAnError)
+{
+    // The assume folds to 0 only through the register fixpoint, so the
+    // builder's on-the-fly folding cannot have caught it.
+    Circuit circuit;
+    rtl::Builder b(circuit);
+    Sig stuck = b.reg("stuck", 1, 0);
+    b.connect(stuck, stuck);
+    Sig in = b.input("in", 1);
+    b.assume(b.andOf(stuck, in), "vacuous.assume");
+    b.assertAlways(b.notOf(in), "prop");
+    b.finish();
+
+    Report report = rtl::analysis::runAll(circuit);
+    EXPECT_TRUE(hasDiagnostic(report, Severity::Error, "vacuity",
+                              "constant false"));
+}
+
+TEST(VacuityLint, ConstantAssertsAreFlagged)
+{
+    Circuit circuit;
+    rtl::Builder b(circuit);
+    Sig stuck = b.reg("stuck", 1, 0);
+    b.connect(stuck, stuck);
+    Sig in = b.input("in", 1);
+    // assert !stuck: bad net = stuck = constant 0 -> trivially true.
+    b.assertAlways(b.notOf(stuck), "trivial.assert");
+    // assert stuck: bad net constant 1 -> fails every cycle.
+    b.assertAlways(stuck, "failing.assert");
+    b.assume(in); // keep the environment nonvacuous
+    b.finish();
+
+    Report report = rtl::analysis::runAll(circuit);
+    EXPECT_TRUE(hasDiagnostic(report, Severity::Warning, "vacuity",
+                              "checks nothing"));
+    EXPECT_TRUE(hasDiagnostic(report, Severity::Error, "vacuity",
+                              "every cycle"));
+}
+
+TEST(ConeLint, InputFreeAssertConeIsFlagged)
+{
+    Circuit circuit;
+    rtl::Builder b(circuit);
+    // A "property" over concrete-init registers only: no input, no
+    // symbolic state in its cone -> structurally constant.
+    Sig counter = b.reg("counter", 4, 0);
+    b.connect(counter, b.addConst(counter, 1));
+    b.assertAlways(b.notOf(b.eqConst(counter, 9)), "deaf.assert");
+    // A healthy assert over an input for contrast.
+    Sig in = b.input("in", 4);
+    b.assertAlways(b.notOf(b.eqConst(in, 3)), "live.assert");
+    b.finish();
+
+    Report report;
+    rtl::analysis::coneLint(circuit, {}, report);
+    EXPECT_TRUE(hasDiagnostic(report, Severity::Warning, "cone",
+                              "deaf.assert"));
+    EXPECT_FALSE(hasDiagnostic(report, Severity::Warning, "cone",
+                               "live.assert"));
+}
+
+TEST(ConeLint, SymbolicRegistersCountAsNondeterminism)
+{
+    // The verification circuits have no free inputs at all - their
+    // nondeterminism is symbolic initial state. Such asserts are fine.
+    Circuit circuit;
+    rtl::Builder b(circuit);
+    Sig s = b.symbolicReg("s", 4);
+    b.connect(s, s);
+    b.assertAlways(b.notOf(b.eqConst(s, 5)), "sym.assert");
+    b.finish();
+
+    Report report;
+    rtl::analysis::coneLint(circuit, {}, report);
+    EXPECT_FALSE(report.hasWarnings());
+}
+
+TEST(ConeLint, DeadLogicCounted)
+{
+    Circuit circuit;
+    rtl::Builder b(circuit);
+    Sig in = b.input("in", 4);
+    b.assertAlways(b.eqConst(in, 1), "prop");
+    Sig unused = b.mul(in, in); // outside every cone
+    b.finish();
+
+    Report report;
+    rtl::analysis::coneLint(circuit, {}, report);
+    EXPECT_TRUE(hasDiagnostic(report, Severity::Note, "cone",
+                              "dead logic"));
+    // Marking the net as an extra root (a kept output) silences it.
+    Report rooted;
+    rtl::analysis::coneLint(circuit, {unused.id}, rooted);
+    EXPECT_FALSE(hasDiagnostic(rooted, Severity::Note, "cone",
+                               "dead logic"));
+}
+
+TEST(TaintDataflow, PropagatesThroughOpsAndRegisters)
+{
+    Circuit circuit;
+    rtl::Builder b(circuit);
+    Sig secret = b.symbolicReg("secret", 4);
+    b.connect(secret, secret);
+    Sig pub = b.input("pub", 4);
+    Sig mixed = b.add(secret, pub);
+    Sig laundered = b.reg("laundered", 4, 0);
+    b.connect(laundered, mixed);
+    Sig clean = b.mul(pub, pub);
+    b.assertAlways(b.notOf(b.eqConst(laundered, 3)), "prop");
+    b.finish();
+
+    rtl::analysis::TaintOptions topts;
+    topts.sources.push_back(secret.id);
+    auto facts = rtl::analysis::taintDataflow(circuit, topts);
+    EXPECT_TRUE(facts.isTainted(secret.id));
+    EXPECT_TRUE(facts.isTainted(mixed.id));
+    EXPECT_TRUE(facts.isTainted(laundered.id)); // via the backedge
+    EXPECT_FALSE(facts.isTainted(pub.id));
+    EXPECT_FALSE(facts.isTainted(clean.id));
+
+    // Sanitizing the mixing point keeps the register clean.
+    topts.sanitizers.push_back(mixed.id);
+    auto cleaned = rtl::analysis::taintDataflow(circuit, topts);
+    EXPECT_FALSE(cleaned.isTainted(laundered.id));
+    EXPECT_LT(cleaned.taintedCount, facts.taintedCount);
+}
+
+TEST(TaintDataflow, WarnsWhenNoAssertObservesTheSecret)
+{
+    Circuit circuit;
+    rtl::Builder b(circuit);
+    Sig secret = b.symbolicReg("secret", 4);
+    b.connect(secret, secret);
+    Sig in = b.input("in", 4);
+    b.assertAlways(b.notOf(b.eqConst(in, 2)), "blind.assert");
+    b.finish();
+
+    rtl::analysis::TaintOptions topts;
+    topts.sources.push_back(secret.id);
+    auto facts = rtl::analysis::taintDataflow(circuit, topts);
+    Report report;
+    rtl::analysis::taintLint(circuit, facts, topts, report);
+    EXPECT_TRUE(hasDiagnostic(report, Severity::Warning, "taint",
+                              "cannot observe the secret"));
+}
+
+TEST(TaintDataflow, StaticOverapproximatesDynamicMonitor)
+{
+    // Cross-check against the dynamic taint monitor (paper Section 8,
+    // OoOConfig::taint) on simpleOoO: any architectural-register taint
+    // bit the monitor ever raises in simulation must correspond to a
+    // net the static analysis marks tainted.
+    proc::CoreSpec spec = proc::simpleOoOSpec();
+    spec.ooo.taint = proc::OoOConfig::Taint::ConstantTime;
+    const isa::IsaConfig &ic = spec.isaConfig();
+
+    rtl::Circuit circuit;
+    rtl::Builder b(circuit);
+    proc::CoreIfc ifc = proc::buildCore(b, spec, "cpu");
+    b.finish();
+
+    rtl::analysis::TaintOptions topts;
+    for (size_t i = ic.secretStart(); i < ic.dmemSize; ++i)
+        topts.sources.push_back(ifc.dmemWords[i].id);
+    auto facts = rtl::analysis::taintDataflow(circuit, topts);
+
+    std::vector<rtl::NetId> monitor_bits;
+    for (int r = 0; r < ic.regCount; ++r) {
+        rtl::NetId bit =
+            circuit.findByName("cpu.taintReg" + std::to_string(r));
+        ASSERT_NE(bit, kNoNet);
+        monitor_bits.push_back(bit);
+    }
+
+    sim::Simulator sim(circuit);
+    std::mt19937_64 rng(20260806);
+    for (int round = 0; round < 8; ++round) {
+        std::unordered_map<rtl::NetId, uint64_t> init;
+        for (size_t i = 0; i < ic.imemSize; ++i)
+            init[ifc.imemWords[i].id] =
+                truncBits(rng(), ic.instrBits());
+        for (size_t i = 0; i < ic.dmemSize; ++i)
+            init[ifc.dmemWords[i].id] = truncBits(rng(), ic.dataWidth);
+        for (size_t i = 0; i < ifc.archRegs.size(); ++i)
+            init[ifc.archRegs[i].id] = truncBits(rng(), ic.dataWidth);
+        sim.reset(init);
+        for (int t = 0; t < 80; ++t) {
+            sim.evaluate();
+            for (int r = 0; r < ic.regCount; ++r) {
+                if (sim.value(monitor_bits[r]))
+                    EXPECT_TRUE(facts.isTainted(ifc.archRegs[r].id))
+                        << "dynamic taint on r" << r
+                        << " not covered statically (round " << round
+                        << ", cycle " << t << ")";
+            }
+            sim.tick();
+        }
+    }
+}
+
+TEST(ShadowPreflight, CleanOnTheDefaultConfiguration)
+{
+    rtl::Circuit circuit;
+    shadow::ShadowOptions opts;
+    opts.emitRelationalCandidates = true;
+    shadow::ShadowHarness h = shadow::buildShadowCircuit(
+        circuit, proc::simpleOoOSpec(), opts);
+    EXPECT_FALSE(h.preflight.hasErrors());
+    EXPECT_FALSE(h.preflight.hasWarnings());
+    EXPECT_GT(h.staticSeedCount, 0u);
+    EXPECT_LE(h.staticSeedCount, h.relationalCandidates.size());
+
+    Report report = rtl::analysis::runAll(circuit);
+    EXPECT_FALSE(report.hasErrors());
+}
+
+TEST(ShadowPreflight, PauseOffIsCaughtStatically)
+{
+    rtl::Circuit circuit;
+    shadow::ShadowOptions opts;
+    opts.enablePause = false;
+    shadow::ShadowHarness h = shadow::buildShadowCircuit(
+        circuit, proc::simpleOoOSpec(), opts);
+    EXPECT_TRUE(hasDiagnostic(h.preflight, Severity::Warning,
+                              "shadow-config", "pause net"));
+    EXPECT_TRUE(hasDiagnostic(h.preflight, Severity::Warning,
+                              "shadow-config", "synchronization"));
+}
+
+TEST(ShadowPreflight, DrainOffIsCaughtStatically)
+{
+    rtl::Circuit circuit;
+    shadow::ShadowOptions opts;
+    opts.enableDrainCheck = false;
+    shadow::ShadowHarness h = shadow::buildShadowCircuit(
+        circuit, proc::simpleOoOSpec(), opts);
+    EXPECT_TRUE(hasDiagnostic(h.preflight, Severity::Warning,
+                              "shadow-config", "instruction-inclusion"));
+}
+
+TEST(PreflightGate, ReportsInVerificationDetail)
+{
+    verif::VerificationTask task;
+    task.core = proc::inOrderSpec();
+    task.maxDepth = 12;
+    task.timeoutSeconds = 60.0;
+    verif::VerificationResult res = verif::runVerification(task);
+    EXPECT_NE(res.detail.find("preflight"), std::string::npos);
+    EXPECT_NE(res.detail.find("static secret-free seeds"),
+              std::string::npos);
+
+    task.preflight = false;
+    verif::VerificationResult off = verif::runVerification(task);
+    EXPECT_EQ(off.detail.find("preflight"), std::string::npos);
+    EXPECT_EQ(res.verdict, off.verdict);
+}
+
+TEST(PreflightGate, DiagnosedVerdictHasAName)
+{
+    EXPECT_STREQ(mc::verdictName(mc::Verdict::Diagnosed), "DIAGNOSED");
+}
+
+} // namespace
+} // namespace csl

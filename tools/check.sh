@@ -1,0 +1,18 @@
+#!/bin/sh
+# Configure a sanitizer build and run the tier-1 test suite under
+# ASan/UBSan. Uses a separate build tree so the regular build directory
+# keeps its cache. Any sanitizer finding aborts the offending test
+# (-fno-sanitize-recover=all), so a green run means a clean suite.
+#
+# Usage: tools/check.sh [build-dir]   (default: build-san)
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-"$repo/build-san"}
+jobs=$(nproc 2>/dev/null || echo 4)
+
+cmake -B "$build" -S "$repo" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCSL_SANITIZE=address,undefined
+cmake --build "$build" -j "$jobs"
+ctest --test-dir "$build" --output-on-failure -j "$jobs"

@@ -17,7 +17,9 @@
 #include <fstream>
 #include <string>
 
+#include "rtl/analysis/analysis.h"
 #include "rtl/btor2.h"
+#include "shadow/baseline_builder.h"
 #include "shadow/shadow_builder.h"
 #include "verif/task.h"
 
@@ -54,6 +56,13 @@ engine:
   --exclude-misaligned forbid misaligned-address programs
   --exclude-oor        forbid out-of-range-address programs
 
+static analysis:
+  --lint               build the verification circuit, run the static-
+                       analysis passes (structure, cone reachability,
+                       assumption vacuity, secret taint, scheme checks)
+                       and print the full diagnostic report; no SAT
+  --no-preflight       skip the pre-flight lint gate before engine runs
+
 other:
   --export-btor2 <file>  write the verification circuit as BTOR2 and exit
   --help                 this message
@@ -75,6 +84,7 @@ main(int argc, char **argv)
     std::string core = "simpleooo";
     std::string defense_name = "none";
     std::string btor2_path;
+    bool lint_only = false;
     int rob = -1, regs = -1, dmem = -1, imem = -1;
 
     for (int i = 1; i < argc; ++i) {
@@ -133,6 +143,10 @@ main(int argc, char **argv)
             task.excludeMisaligned = true;
         } else if (match(argv[i], "--exclude-oor")) {
             task.excludeOutOfRange = true;
+        } else if (match(argv[i], "--lint")) {
+            lint_only = true;
+        } else if (match(argv[i], "--no-preflight")) {
+            task.preflight = false;
         } else if (match(argv[i], "--export-btor2")) {
             btor2_path = value();
         } else {
@@ -181,6 +195,47 @@ main(int argc, char **argv)
         task.core.ooo.isa.dmemSize = size_t(dmem);
     if (imem > 0)
         task.core.ooo.isa.imemSize = size_t(imem);
+
+    if (lint_only) {
+        rtl::Circuit circuit;
+        rtl::analysis::Report report;
+        rtl::analysis::AnalysisOptions aopts;
+        if (task.scheme == verif::Scheme::Baseline) {
+            shadow::BaselineHarness h = shadow::buildBaselineCircuit(
+                circuit, task.core, task.contract,
+                task.assumeSecretsDiffer);
+            report.merge(h.preflight);
+        } else if (task.scheme == verif::Scheme::ContractShadow ||
+                   task.scheme == verif::Scheme::UpecLike) {
+            shadow::ShadowOptions opts;
+            opts.contract = task.contract;
+            opts.restrictToBranchSpeculation =
+                task.scheme == verif::Scheme::UpecLike;
+            opts.enablePause = task.enablePause;
+            opts.enableDrainCheck = task.enableDrainCheck;
+            opts.assumeSecretsDiffer = task.assumeSecretsDiffer;
+            opts.emitRelationalCandidates = true;
+            shadow::ShadowHarness h =
+                shadow::buildShadowCircuit(circuit, task.core, opts);
+            report.merge(h.preflight);
+            aopts.extraRoots = h.relationalCandidates;
+        } else {
+            // LEAVE/fuzz run on a single core instance; lint that.
+            rtl::Builder b(circuit);
+            proc::buildCore(b, task.core, "cpu");
+            b.finish();
+        }
+        report.merge(rtl::analysis::runAll(circuit, aopts));
+        std::printf("lint: core=%s defense=%s contract=%s scheme=%s\n",
+                    core.c_str(), defense::defenseName(def),
+                    contract::contractName(task.contract),
+                    verif::schemeName(task.scheme));
+        std::string body = report.format();
+        if (!body.empty())
+            std::printf("%s", body.c_str());
+        std::printf("lint result: %s\n", report.summary().c_str());
+        return report.hasErrors() ? 3 : 0;
+    }
 
     if (!btor2_path.empty()) {
         rtl::Circuit circuit;
