@@ -1,4 +1,54 @@
 #include "base/budget.h"
 
-// Budget is header-only today; this translation unit anchors the header so
-// the build catches missing includes early.
+#include <algorithm>
+
+#include "base/faultpoint.h"
+
+namespace csl {
+
+double
+Budget::secondsLeft() const
+{
+    double left = secondsLimit_ - watch_.seconds();
+    if (hasDeadline_)
+        left = std::min(left, deadline_.remaining());
+    return left > 0 ? left : 0;
+}
+
+bool
+Budget::exhaustedSlow() const
+{
+    if (fault::shouldFire("budget.exhaust")) {
+        exhaustedCause_ = Cause::Injected;
+        return true;
+    }
+    double left = secondsLimit_ - watch_.seconds();
+    if (left <= 0) {
+        exhaustedCause_ = Cause::Time;
+        return true;
+    }
+    if (hasDeadline_) {
+        if (deadline_.expired()) {
+            exhaustedCause_ = Cause::Deadline;
+            return true;
+        }
+        left = std::min(left, deadline_.remaining());
+    }
+    // Adapt the consult interval to the distance from the limit: the
+    // SAT conflict loop calls exhausted() on the order of 1e5..1e6
+    // times per second, so far from the limit a few thousand calls
+    // between clock reads keeps the overhead invisible, while within a
+    // few milliseconds of it every call gets a real read - bounding the
+    // overshoot of cheap-work phases to roughly the interval itself.
+    if (left > 2.0)
+        untilCheck_ = 4096;
+    else if (left > 0.25)
+        untilCheck_ = 256;
+    else if (left > 0.02)
+        untilCheck_ = 16;
+    else
+        untilCheck_ = 0;
+    return false;
+}
+
+} // namespace csl

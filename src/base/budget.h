@@ -11,20 +11,28 @@
 #include <cstdint>
 #include <limits>
 
+#include "base/deadline.h"
 #include "base/stopwatch.h"
 
 namespace csl {
 
 /**
- * A wall-clock + work-unit budget shared by an engine invocation.
+ * A wall-clock + work-unit budget shared by an engine invocation,
+ * optionally bounded by a cooperative Deadline (staged-fallback runs
+ * hand each stage a slice of the remaining wall clock this way).
  *
  * The SAT solver charges one work unit per conflict; simulation-based
- * engines charge per simulated cycle. Either limit expiring marks the
- * budget as exhausted.
+ * engines charge per simulated cycle. Any limit expiring - or the
+ * deadline being cancelled - marks the budget as exhausted, and
+ * exhaustion latches: once tripped it never clears, so every layer of a
+ * cancelled run agrees on the answer.
  */
 class Budget
 {
   public:
+    /** Why exhausted() turned true (None while still in budget). */
+    enum class Cause : uint8_t { None, Work, Time, Deadline, Injected };
+
     /** Unlimited budget. */
     Budget() = default;
 
@@ -34,20 +42,48 @@ class Budget
         : secondsLimit_(seconds), workLimit_(work_limit)
     {}
 
+    /** Budget bounded by @p deadline (and optionally a work limit). */
+    explicit Budget(const Deadline &deadline,
+                    uint64_t work_limit =
+                        std::numeric_limits<uint64_t>::max())
+        : workLimit_(work_limit), deadline_(deadline), hasDeadline_(true)
+    {}
+
+    /** Additionally bound this budget by @p deadline. */
+    void
+    attachDeadline(const Deadline &deadline)
+    {
+        deadline_ = deadline;
+        hasDeadline_ = true;
+        untilCheck_ = 0; // re-consult the clock promptly
+    }
+
     /** Charge @p units of work against the budget. */
     void charge(uint64_t units = 1) { workUsed_ += units; }
 
-    /** True once either the time or the work limit has been exceeded. */
+    /**
+     * True once the work limit, the time limit, or the deadline has been
+     * exceeded (latched). The clock is consulted at an adaptive
+     * interval: rarely while far from every limit, every call once
+     * within a few milliseconds of one, so cheap-work phases cannot
+     * overshoot the wall-clock limit by more than that interval.
+     */
     bool
     exhausted() const
     {
-        if (workUsed_ > workLimit_)
+        if (exhaustedCause_ != Cause::None)
             return true;
-        // Only consult the clock occasionally; it is comparatively slow.
-        if (checkCounter_++ % 256 == 0)
-            timeExpired_ = watch_.seconds() > secondsLimit_;
-        return timeExpired_;
+        if (workUsed_ > workLimit_) {
+            exhaustedCause_ = Cause::Work;
+            return true;
+        }
+        if (untilCheck_-- > 0)
+            return false;
+        return exhaustedSlow();
     }
+
+    /** What tripped the budget (None while exhausted() is false). */
+    Cause cause() const { return exhaustedCause_; }
 
     /** Elapsed wall-clock seconds since the budget was created. */
     double elapsed() const { return watch_.seconds(); }
@@ -55,21 +91,31 @@ class Budget
     /** Work units consumed so far. */
     uint64_t workUsed() const { return workUsed_; }
 
-    /** Remaining seconds (clamped at zero). */
-    double
-    secondsLeft() const
+    /**
+     * Remaining seconds before the earlier of the time limit and the
+     * deadline (clamped at zero; +inf when neither is set).
+     */
+    double secondsLeft() const;
+
+    /** The deadline bounding this budget, when one is attached. */
+    const Deadline *deadline() const
     {
-        double left = secondsLimit_ - watch_.seconds();
-        return left > 0 ? left : 0;
+        return hasDeadline_ ? &deadline_ : nullptr;
     }
 
   private:
+    /** Clock consult + interval adaptation; latches on expiry. */
+    bool exhaustedSlow() const;
+
     Stopwatch watch_;
     double secondsLimit_ = std::numeric_limits<double>::infinity();
     uint64_t workLimit_ = std::numeric_limits<uint64_t>::max();
     uint64_t workUsed_ = 0;
-    mutable uint64_t checkCounter_ = 0;
-    mutable bool timeExpired_ = false;
+    Deadline deadline_;
+    bool hasDeadline_ = false;
+    /** Calls remaining until the next (comparatively slow) clock read. */
+    mutable int64_t untilCheck_ = 0;
+    mutable Cause exhaustedCause_ = Cause::None;
 };
 
 } // namespace csl

@@ -1,0 +1,4 @@
+#include "base/deadline.h"
+
+// Deadline is header-only; this translation unit anchors the header so
+// the build catches missing includes early.

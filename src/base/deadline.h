@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Cooperative deadlines and cancellation for the staged verification
+ * runtime. A Deadline is an absolute point on the monotonic clock plus a
+ * shared cancellation flag; Budget consults one so that expiry or a
+ * cancel() propagates through the SAT solver and both model-checking
+ * engines without any of them knowing about stages.
+ *
+ * Deadlines are values: copying shares the cancellation flag, and
+ * slice() carves a sub-deadline (for one portfolio stage) that can never
+ * outlive its parent and inherits the parent's cancellation.
+ */
+
+#ifndef CSL_BASE_DEADLINE_H_
+#define CSL_BASE_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+namespace csl {
+
+/** Shared-state cancellation token with an optional expiry time. */
+class Deadline
+{
+  public:
+    /** A deadline that never expires (but can still be cancelled). */
+    Deadline() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+    /** A deadline @p seconds from now (infinity = never expires). */
+    static Deadline
+    in(double seconds)
+    {
+        Deadline d;
+        if (seconds < std::numeric_limits<double>::infinity())
+            d.expiry_ = Clock::now() + toDuration(seconds);
+        return d;
+    }
+
+    /** Seconds until expiry (+inf when unlimited, 0 when past/cancelled). */
+    double
+    remaining() const
+    {
+        if (cancelled())
+            return 0;
+        if (expiry_ == Clock::time_point::max())
+            return std::numeric_limits<double>::infinity();
+        double left =
+            std::chrono::duration<double>(expiry_ - Clock::now()).count();
+        return left > 0 ? left : 0;
+    }
+
+    /** True once past the expiry time or cancelled. */
+    bool
+    expired() const
+    {
+        return cancelled() ||
+               (expiry_ != Clock::time_point::max() &&
+                Clock::now() >= expiry_);
+    }
+
+    /** Cooperatively cancel: every copy and slice observes it. */
+    void cancel() { flag_->store(true, std::memory_order_relaxed); }
+
+    bool
+    cancelled() const
+    {
+        return flag_->load(std::memory_order_relaxed);
+    }
+
+    /**
+     * A sub-deadline at most @p seconds from now, clipped to this
+     * deadline's own expiry and sharing its cancellation flag. A stage
+     * given a slice can exhaust its share without eating into the
+     * remaining wall clock of later stages.
+     */
+    Deadline
+    slice(double seconds) const
+    {
+        Deadline d = *this; // shares flag_ and inherits expiry_
+        if (seconds < std::numeric_limits<double>::infinity()) {
+            Clock::time_point sub = Clock::now() + toDuration(seconds);
+            if (sub < d.expiry_)
+                d.expiry_ = sub;
+        }
+        return d;
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    static Clock::duration
+    toDuration(double seconds)
+    {
+        return std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(seconds));
+    }
+
+    Clock::time_point expiry_ = Clock::time_point::max();
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+} // namespace csl
+
+#endif // CSL_BASE_DEADLINE_H_

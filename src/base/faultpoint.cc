@@ -1,0 +1,175 @@
+#include "base/faultpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace csl::fault {
+
+const std::vector<std::string> &
+knownSites()
+{
+    static const std::vector<std::string> sites = {
+        "budget.exhaust",    "sat.alloc",     "sat.corrupt-model",
+        "houdini.interrupt", "journal.write", "runner.kill",
+    };
+    return sites;
+}
+
+namespace detail {
+
+std::atomic<uint64_t> armedCount{0};
+
+namespace {
+
+struct Site
+{
+    uint64_t fireAt = 1; ///< fire on this hit (1-based)
+    uint64_t hits = 0;
+    bool armed = false;
+    bool fired = false;
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, Site> sites;
+    bool envParsed = false;
+
+    /** Parse CSL_FAULT ("site[:hit],site[:hit],...") once. */
+    void
+    parseEnvLocked()
+    {
+        if (envParsed)
+            return;
+        envParsed = true;
+        const char *env = std::getenv("CSL_FAULT");
+        if (!env || !*env)
+            return;
+        std::string spec(env);
+        size_t pos = 0;
+        while (pos < spec.size()) {
+            size_t comma = spec.find(',', pos);
+            std::string entry = spec.substr(
+                pos, comma == std::string::npos ? std::string::npos
+                                                : comma - pos);
+            pos = comma == std::string::npos ? spec.size() : comma + 1;
+            if (entry.empty())
+                continue;
+            uint64_t at = 1;
+            size_t colon = entry.find(':');
+            if (colon != std::string::npos) {
+                at = std::strtoull(entry.c_str() + colon + 1, nullptr, 10);
+                if (at == 0)
+                    at = 1;
+                entry.resize(colon);
+            }
+            Site &site = sites[entry];
+            if (!site.armed) {
+                site = Site{};
+                site.fireAt = at;
+                site.armed = true;
+                armedCount.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    }
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+/**
+ * Parse CSL_FAULT at program start: the unarmed fast path never reaches
+ * the registry, so env-armed sites must raise armedCount before the
+ * first shouldFire() call. (armedCount is zero-initialized at constant
+ * initialization, so it is ready whenever this dynamic initializer runs.)
+ */
+const bool envInitDone = [] {
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.parseEnvLocked();
+    return true;
+}();
+
+} // namespace
+
+bool
+shouldFireSlow(const char *site)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.parseEnvLocked();
+    auto it = r.sites.find(site);
+    if (it == r.sites.end() || !it->second.armed || it->second.fired)
+        return false;
+    Site &s = it->second;
+    ++s.hits;
+    if (s.hits < s.fireAt)
+        return false;
+    s.fired = true;
+    return true;
+}
+
+} // namespace detail
+
+void
+arm(const std::string &site, uint64_t at_hit)
+{
+    auto &r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.parseEnvLocked();
+    detail::Site &s = r.sites[site];
+    if (!s.armed)
+        detail::armedCount.fetch_add(1, std::memory_order_relaxed);
+    s = detail::Site{};
+    s.fireAt = at_hit == 0 ? 1 : at_hit;
+    s.armed = true;
+}
+
+void
+disarm(const std::string &site)
+{
+    auto &r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.sites.find(site);
+    if (it == r.sites.end() || !it->second.armed)
+        return;
+    it->second.armed = false;
+    detail::armedCount.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+disarmAll()
+{
+    auto &r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (auto &[name, site] : r.sites) {
+        if (site.armed)
+            detail::armedCount.fetch_sub(1, std::memory_order_relaxed);
+        site = detail::Site{};
+    }
+}
+
+uint64_t
+hitCount(const std::string &site)
+{
+    auto &r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.sites.find(site);
+    return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+bool
+fired(const std::string &site)
+{
+    auto &r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.sites.find(site);
+    return it != r.sites.end() && it->second.fired;
+}
+
+} // namespace csl::fault

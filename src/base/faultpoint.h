@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Named fault-injection sites for testing the verification runtime's
+ * recovery paths. Production code asks shouldFire("site") at the places
+ * where real faults could strike (budget exhaustion mid-phase, solver
+ * model corruption, clause-arena allocation failure, an interrupted
+ * Houdini iteration, a failed journal write); tests and the resilience
+ * smoke bench arm sites either programmatically or via the CSL_FAULT
+ * environment variable and check that the run degrades cleanly instead
+ * of crashing or reporting a wrong verdict.
+ *
+ * CSL_FAULT syntax: a comma-separated list of `site` or `site:hit`
+ * entries; `site:3` fires on the third time the site is reached. The
+ * variable is read once, on the first shouldFire() call.
+ *
+ * The unarmed fast path is a single relaxed atomic load, so sites may
+ * sit on hot paths (the SAT conflict loop consults one).
+ */
+
+#ifndef CSL_BASE_FAULTPOINT_H_
+#define CSL_BASE_FAULTPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csl::fault {
+
+/**
+ * The registry of known sites (used by the resilience smoke matrix to
+ * enumerate what it must cover; arming an unknown name is still allowed
+ * so callers can add sites without touching this list first).
+ *
+ *   budget.exhaust    Budget::exhausted() trips as if the clock ran out
+ *   sat.alloc         clause-arena growth fails; solve() returns Unknown
+ *   sat.corrupt-model a Sat model comes back with one flipped value
+ *   houdini.interrupt proveInductiveInvariants() stops mid-iteration
+ *   journal.write     Journal::save() fails as if the disk were full
+ *   runner.kill       SIGKILL at the next stage boundary (after the
+ *                     journal checkpoint) - the crash/resume test
+ */
+const std::vector<std::string> &knownSites();
+
+namespace detail {
+extern std::atomic<uint64_t> armedCount;
+bool shouldFireSlow(const char *site);
+} // namespace detail
+
+/**
+ * True when @p site is armed and its hit count has been reached. Each
+ * call while armed counts as one hit; an armed site fires exactly once
+ * (re-arm to fire again).
+ */
+inline bool
+shouldFire(const char *site)
+{
+    if (detail::armedCount.load(std::memory_order_relaxed) == 0)
+        return false;
+    return detail::shouldFireSlow(site);
+}
+
+/** Arm @p site to fire on its @p at_hit -th hit (1 = next hit). */
+void arm(const std::string &site, uint64_t at_hit = 1);
+
+/** Disarm @p site (no-op when not armed). */
+void disarm(const std::string &site);
+
+/** Disarm every site and reset all hit counters. */
+void disarmAll();
+
+/** Number of times an armed @p site has been hit so far. */
+uint64_t hitCount(const std::string &site);
+
+/** True when @p site already fired. */
+bool fired(const std::string &site);
+
+/** RAII arming for tests: arms on construction, disarms on destruction. */
+class ScopedFault
+{
+  public:
+    explicit ScopedFault(std::string site, uint64_t at_hit = 1)
+        : site_(std::move(site))
+    {
+        arm(site_, at_hit);
+    }
+    ~ScopedFault() { disarm(site_); }
+    ScopedFault(const ScopedFault &) = delete;
+    ScopedFault &operator=(const ScopedFault &) = delete;
+
+  private:
+    std::string site_;
+};
+
+} // namespace csl::fault
+
+#endif // CSL_BASE_FAULTPOINT_H_

@@ -102,15 +102,19 @@ runLeave(const proc::CoreSpec &spec, const LeaveOptions &options)
     Stopwatch watch;
     LeaveResult result;
     Budget budget(options.timeoutSeconds);
+    if (options.deadline)
+        budget.attachDeadline(*options.deadline);
 
     LeaveCircuit lc;
     buildLeaveCircuit(lc, spec, options.contract);
     result.candidates = lc.candidates.size();
 
-    auto survivors =
-        mc::proveInductiveInvariants(lc.circuit, lc.candidates, &budget);
+    std::vector<NetId> pruning_front;
+    auto survivors = mc::proveInductiveInvariants(
+        lc.circuit, lc.candidates, &budget, /*window=*/1, &pruning_front);
     if (!survivors) {
         result.kind = LeaveResult::Kind::Timeout;
+        result.pruningFront = pruning_front.size();
         result.seconds = watch.seconds();
         return result;
     }

@@ -14,9 +14,11 @@
 #ifndef CSL_LEAVE_INVARIANT_SEARCH_H_
 #define CSL_LEAVE_INVARIANT_SEARCH_H_
 
+#include <optional>
 #include <string>
 
 #include "base/budget.h"
+#include "base/deadline.h"
 #include "contract/contract.h"
 #include "proc/presets.h"
 
@@ -33,6 +35,12 @@ struct LeaveResult
     Kind kind = Kind::Unknown;
     size_t candidates = 0; ///< generated candidate invariants
     size_t survivors = 0;  ///< candidates surviving the Houdini loop
+    /**
+     * Timeout only: candidates still alive when the Houdini loop was
+     * interrupted - unproven, but a sound (and smaller) seed for a
+     * resumed search. 0 when the search finished or never started.
+     */
+    size_t pruningFront = 0;
     double seconds = 0;
 };
 
@@ -45,6 +53,8 @@ struct LeaveOptions
     double timeoutSeconds = 600.0;
     /** Induction depth for the final proof attempt (LEAVE uses 1). */
     size_t proofDepth = 1;
+    /** Optional cooperative deadline/cancellation (staged runs). */
+    std::optional<Deadline> deadline;
 };
 
 /** Run the LEAVE-style scheme on @p spec. */

@@ -4,14 +4,28 @@
 
 namespace csl::mc {
 
-Bmc::Bmc(const rtl::Circuit &circuit) : circuit_(circuit)
+Bmc::Bmc(const rtl::Circuit &circuit, uint64_t decision_seed)
+    : circuit_(circuit)
 {
     cnf_ = std::make_unique<bitblast::CnfBuilder>(solver_);
     unroller_ = std::make_unique<bitblast::Unroller>(
         circuit, *cnf_, /*free_initial_state=*/false);
+    if (decision_seed != 0)
+        solver_.setDecisionSeed(decision_seed);
 }
 
 Bmc::~Bmc() = default;
+
+void
+Bmc::markSafeUpTo(size_t depth)
+{
+    if (depth <= checked_)
+        return;
+    unroller_->ensureFrames(depth);
+    for (size_t k = checked_; k < depth; ++k)
+        solver_.addClause(~unroller_->badLit(k));
+    checked_ = depth;
+}
 
 BmcResult
 Bmc::run(size_t max_depth, Budget *budget)

@@ -41,7 +41,8 @@ struct BmcResult
 class Bmc
 {
   public:
-    explicit Bmc(const rtl::Circuit &circuit);
+    /** @p decision_seed != 0 perturbs the SAT search (witness retries). */
+    explicit Bmc(const rtl::Circuit &circuit, uint64_t decision_seed = 0);
     ~Bmc();
 
     /**
@@ -52,6 +53,15 @@ class Bmc
 
     /** Deepest depth k such that all frames 0..k are known safe. */
     size_t checkedUpTo() const { return checked_; }
+
+    /**
+     * Declare frames 0..@p depth-1 bad-free without solving - the
+     * checkpoint/resume path, replaying a bound a previous run of the
+     * same circuit already verified (the caller vouches for the match;
+     * verif::Journal guards it with a task fingerprint). The frames are
+     * still unrolled so later queries can build on them.
+     */
+    void markSafeUpTo(size_t depth);
 
   private:
     const rtl::Circuit &circuit_;

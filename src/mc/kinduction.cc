@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "base/faultpoint.h"
 #include "base/logging.h"
 
 namespace csl::mc {
@@ -10,12 +11,17 @@ namespace csl::mc {
 using rtl::NetId;
 
 KInduction::KInduction(const rtl::Circuit &circuit, KInductionOptions options)
-    : circuit_(circuit), options_(std::move(options)), base_(circuit)
+    : circuit_(circuit), options_(std::move(options)),
+      base_(circuit, options_.decisionSeed)
 {
     stepCnf_ = std::make_unique<bitblast::CnfBuilder>(stepSolver_);
     stepUnroller_ = std::make_unique<bitblast::Unroller>(
         circuit, *stepCnf_, /*free_initial_state=*/true,
         options_.assumedInvariants);
+    if (options_.decisionSeed != 0)
+        stepSolver_.setDecisionSeed(options_.decisionSeed);
+    if (options_.startSafeDepth > 0)
+        base_.markSafeUpTo(options_.startSafeDepth);
 }
 
 KInduction::~KInduction() = default;
@@ -33,11 +39,13 @@ KInduction::run(Budget *budget)
             result.kind = KInductionResult::Kind::Cex;
             result.k = base.depth;
             result.trace = std::move(base.trace);
+            result.baseSafe = base_.checkedUpTo();
             return result;
         }
         if (base.kind == BmcResult::Kind::Timeout) {
             result.kind = KInductionResult::Kind::Timeout;
             result.k = k;
+            result.baseSafe = base_.checkedUpTo();
             return result;
         }
 
@@ -60,28 +68,38 @@ KInduction::run(Budget *budget)
         if (status == sat::Status::Unsat) {
             result.kind = KInductionResult::Kind::Proof;
             result.k = k;
+            result.baseSafe = base_.checkedUpTo();
             return result;
         }
         if (status == sat::Status::Unknown) {
             result.kind = KInductionResult::Kind::Timeout;
             result.k = k;
+            result.baseSafe = base_.checkedUpTo();
             return result;
         }
         // Sat: the property is not k-inductive; deepen.
     }
     result.kind = KInductionResult::Kind::Unknown;
     result.k = options_.maxK;
+    result.baseSafe = base_.checkedUpTo();
     return result;
 }
 
 std::optional<std::vector<NetId>>
 proveInductiveInvariants(const rtl::Circuit &circuit,
                          std::vector<NetId> candidates, Budget *budget,
-                         size_t window)
+                         size_t window, std::vector<NetId> *partial_out)
 {
     if (candidates.empty())
         return candidates;
     csl_assert(window >= 1, "window must be at least 1");
+    // On interruption, hand back the pruning progress made so far (see
+    // header comment): a resumed search restarts from the smaller set.
+    auto interrupted = [&]() -> std::optional<std::vector<NetId>> {
+        if (partial_out)
+            *partial_out = candidates;
+        return std::nullopt;
+    };
 
     // Phase 1: drop candidates violated in the first `window` frames from
     // a legal initial state (the base case of the invariants' own
@@ -96,6 +114,8 @@ proveInductiveInvariants(const rtl::Circuit &circuit,
         for (size_t f = 0; f < window; ++f) {
             unroller.ensureFrames(f + 1);
             for (;;) {
+                if (fault::shouldFire("houdini.interrupt"))
+                    return interrupted();
                 std::vector<sat::Lit> holds;
                 holds.reserve(candidates.size());
                 for (NetId c : candidates)
@@ -103,7 +123,7 @@ proveInductiveInvariants(const rtl::Circuit &circuit,
                 sat::Status status =
                     solver.solve({~cnf.andAll(holds)}, budget);
                 if (status == sat::Status::Unknown)
-                    return std::nullopt;
+                    return interrupted();
                 if (status == sat::Status::Unsat)
                     break; // all remaining candidates hold at frame f
                 std::vector<NetId> kept;
@@ -137,6 +157,8 @@ proveInductiveInvariants(const rtl::Circuit &circuit,
         activation.emplace(c, act);
     }
     while (!candidates.empty()) {
+        if (fault::shouldFire("houdini.interrupt"))
+            return interrupted();
         std::vector<sat::Lit> assumptions;
         assumptions.reserve(candidates.size() + 1);
         for (NetId c : candidates)
@@ -149,7 +171,7 @@ proveInductiveInvariants(const rtl::Circuit &circuit,
 
         sat::Status status = solver.solve(assumptions, budget);
         if (status == sat::Status::Unknown)
-            return std::nullopt;
+            return interrupted();
         if (status == sat::Status::Unsat)
             break; // fixpoint: all remaining candidates are inductive
         // Drop every candidate the counterexample-to-induction violates.

@@ -46,6 +46,9 @@ struct KInductionResult
     size_t k = 0; ///< Proof: inductive depth; Cex: failing frame
     std::optional<Trace> trace;
     uint64_t conflicts = 0;
+    /** Deepest base-case bound proven bad-free (salvageable partial
+     * answer even when the run timed out or was cancelled). */
+    size_t baseSafe = 0;
 };
 
 /** Configuration for KInduction. */
@@ -54,6 +57,10 @@ struct KInductionOptions
     size_t maxK = 64;
     /** Trusted invariants asserted per step frame (see file comment). */
     std::vector<rtl::NetId> assumedInvariants;
+    /** Non-zero: perturb both solvers' decisions (witness retries). */
+    uint64_t decisionSeed = 0;
+    /** Base-case frames a previous run already proved safe (resume). */
+    size_t startSafeDepth = 0;
 };
 
 /** Interleaved base-case BMC + inductive step engine. */
@@ -65,6 +72,9 @@ class KInduction
 
     /** Run until proof, counterexample, maxK, or budget exhaustion. */
     KInductionResult run(Budget *budget = nullptr);
+
+    /** Deepest base-case bound proven (or resumed as) bad-free. */
+    size_t baseCheckedUpTo() const { return base_.checkedUpTo(); }
 
   private:
     const rtl::Circuit &circuit_;
@@ -91,11 +101,17 @@ class KInduction
  * the contract assumption at its commit, which lies within the window
  * but not within one step.
  *
- * Returns std::nullopt on budget exhaustion.
+ * Returns std::nullopt on budget exhaustion (or when the
+ * `houdini.interrupt` fault point fires). In that case, when
+ * @p partial_out is non-null it receives the candidate set as pruned so
+ * far - NOT yet proven inductive, but a sound and smaller seed for
+ * restarting the search (the Houdini loop only ever removes candidates,
+ * so a resumed run over the pruned set converges to the same fixpoint).
  */
 std::optional<std::vector<rtl::NetId>> proveInductiveInvariants(
     const rtl::Circuit &circuit, std::vector<rtl::NetId> candidates,
-    Budget *budget = nullptr, size_t window = 1);
+    Budget *budget = nullptr, size_t window = 1,
+    std::vector<rtl::NetId> *partial_out = nullptr);
 
 } // namespace csl::mc
 

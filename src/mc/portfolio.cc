@@ -22,16 +22,21 @@ checkProperty(const rtl::Circuit &circuit, const CheckOptions &options)
 {
     Stopwatch watch;
     Budget budget(options.timeoutSeconds);
+    if (options.deadline)
+        budget.attachDeadline(*options.deadline);
     CheckResult result;
 
     if (options.tryProof) {
         KInductionOptions kopts;
         kopts.maxK = options.maxDepth;
         kopts.assumedInvariants = options.assumedInvariants;
+        kopts.decisionSeed = options.decisionSeed;
+        kopts.startSafeDepth = options.startSafeDepth;
         KInduction engine(circuit, std::move(kopts));
         KInductionResult kres = engine.run(&budget);
         result.depth = kres.k;
         result.conflicts = kres.conflicts;
+        result.deepestSafeBound = kres.baseSafe;
         switch (kres.kind) {
           case KInductionResult::Kind::Cex:
             result.verdict = Verdict::Attack;
@@ -48,10 +53,13 @@ checkProperty(const rtl::Circuit &circuit, const CheckOptions &options)
             break;
         }
     } else {
-        Bmc engine(circuit);
+        Bmc engine(circuit, options.decisionSeed);
+        if (options.startSafeDepth > 0)
+            engine.markSafeUpTo(options.startSafeDepth);
         BmcResult bres = engine.run(options.maxDepth, &budget);
         result.depth = bres.depth;
         result.conflicts = bres.conflicts;
+        result.deepestSafeBound = engine.checkedUpTo();
         switch (bres.kind) {
           case BmcResult::Kind::Cex:
             result.verdict = Verdict::Attack;

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "base/deadline.h"
 #include "mc/kinduction.h"
 #include "rtl/circuit.h"
 
@@ -28,6 +29,16 @@ struct CheckOptions
     bool tryProof = true;
     /** Trusted strengthening invariants for the induction step. */
     std::vector<rtl::NetId> assumedInvariants;
+    /**
+     * Cooperative deadline bounding the run in addition to
+     * timeoutSeconds; cancelling it stops the engines at the next
+     * conflict. Staged-fallback runs hand each stage a slice this way.
+     */
+    std::optional<Deadline> deadline;
+    /** Non-zero: perturb the SAT decision heuristic (witness retries). */
+    uint64_t decisionSeed = 0;
+    /** Frames a previous run of this circuit proved bad-free (resume). */
+    size_t startSafeDepth = 0;
 };
 
 /** Final verdict of a verification task. */
@@ -51,6 +62,9 @@ struct CheckResult
     std::optional<Trace> trace;
     double seconds = 0;
     uint64_t conflicts = 0;
+    /** Deepest bound proven bad-free - the salvageable partial answer,
+     * filled in even when the verdict is Timeout. */
+    size_t deepestSafeBound = 0;
 };
 
 /** Check that no bad net of @p circuit is reachable. */

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
 
+#include "base/faultpoint.h"
 #include "base/logging.h"
 
 namespace csl::sat {
@@ -45,6 +47,25 @@ Solver::value(Lit l) const
 Solver::CRef
 Solver::allocClause(const std::vector<Lit> &lits, bool learnt)
 {
+    // A failed arena growth (injected or a real bad_alloc) degrades the
+    // solver: with a potentially incomplete clause set neither Sat nor
+    // Unsat can be trusted, so solve() will answer Unknown from now on
+    // and the caller salvages what it proved before the failure.
+    if (fault::shouldFire("sat.alloc")) {
+        allocFailed_ = true;
+        return kCRefUndef;
+    }
+    const size_t needed = arena_.size() + lits.size() + 2;
+    if (arena_.capacity() < needed) {
+        // Grow geometrically ourselves so the reserve below never
+        // degrades push_back into per-clause reallocation.
+        try {
+            arena_.reserve(std::max(needed, arena_.capacity() * 2));
+        } catch (const std::bad_alloc &) {
+            allocFailed_ = true;
+            return kCRefUndef;
+        }
+    }
     CRef ref = static_cast<CRef>(arena_.size());
     arena_.push_back((static_cast<uint32_t>(lits.size()) << 2) |
                      (learnt ? 2u : 0u));
@@ -100,6 +121,8 @@ Solver::addClause(std::vector<Lit> lits)
         return ok_;
     }
     CRef ref = allocClause(out, false);
+    if (ref == kCRefUndef)
+        return true; // degraded; solve() will answer Unknown
     attachClause(ref);
     ++numProblemClauses_;
     return true;
@@ -479,18 +502,57 @@ Solver::lubySequence(uint64_t i)
     return 1ull << seq;
 }
 
+uint64_t
+Solver::nextRandom()
+{
+    // xorshift64*; seed_ is never 0 while randomization is active.
+    seed_ ^= seed_ >> 12;
+    seed_ ^= seed_ << 25;
+    seed_ ^= seed_ >> 27;
+    return seed_ * 0x2545F4914F6CDD1Dull;
+}
+
+void
+Solver::setDecisionSeed(uint64_t seed)
+{
+    seed_ = seed;
+    seedPending_ = seed != 0;
+}
+
+void
+Solver::applySeedPerturbation()
+{
+    seedPending_ = false;
+    // Jitter every activity by up to varInc_ and flip a fraction of the
+    // saved phases: enough to reorder ties and early decisions without
+    // discarding what VSIDS has learned.
+    for (Var v = 0; v < numVars(); ++v) {
+        activity_[v] +=
+            varInc_ * (static_cast<double>(nextRandom() % 1024) / 1024.0);
+        if (nextRandom() % 8 == 0)
+            polarity_[v] = !polarity_[v];
+    }
+    // Rebuild the heap order under the new activities.
+    for (size_t pos = heap_.size(); pos-- > 0;)
+        heapIncrease(static_cast<int>(pos));
+}
+
 Status
 Solver::solve(const std::vector<Lit> &assumptions, Budget *budget)
 {
     csl_assert(decisionLevel() == 0, "solve re-entered above root");
     model_.clear();
     conflict_.clear();
+    if (allocFailed_)
+        return Status::Unknown;
     if (!ok_)
         return Status::Unsat;
     if (propagate() != kCRefUndef) {
         ok_ = false;
         return Status::Unsat;
     }
+    if (seedPending_)
+        applySeedPerturbation();
 
     if (maxLearnts_ <= 0)
         maxLearnts_ = std::max<double>(4000.0, numProblemClauses_ * 0.35);
@@ -521,6 +583,12 @@ Solver::solve(const std::vector<Lit> &assumptions, Budget *budget)
                 uncheckedEnqueue(learnt[0], kCRefUndef);
             } else {
                 CRef ref = allocClause(learnt, true);
+                if (ref == kCRefUndef) {
+                    // Clause database allocation failed: degrade rather
+                    // than continue on an incomplete learnt set.
+                    cancelUntil(0);
+                    return Status::Unknown;
+                }
                 learnts_.push_back(ref);
                 attachClause(ref);
                 uncheckedEnqueue(learnt[0], ref);
@@ -559,11 +627,29 @@ Solver::solve(const std::vector<Lit> &assumptions, Budget *budget)
                 if (v < 0) {
                     // Full model found.
                     model_.assign(assigns_.begin(), assigns_.end());
+                    if (fault::shouldFire("sat.corrupt-model")) {
+                        // Injected model corruption: invert the whole
+                        // model so the witness self-audit has something
+                        // real to catch.
+                        for (LBool &m : model_)
+                            m = m == LBool::True    ? LBool::False
+                                : m == LBool::False ? LBool::True
+                                                    : m;
+                    }
                     cancelUntil(0);
                     return Status::Sat;
                 }
                 ++stats_.decisions;
                 next = mkLit(v, polarity_[v]);
+                if (seed_ != 0 && nextRandom() % 64 == 0) {
+                    // Occasional random decision under a non-zero seed.
+                    Var rv = static_cast<Var>(nextRandom() %
+                                              uint64_t(numVars()));
+                    if (assigns_[rv] == LBool::Undef && rv != v) {
+                        insertVarOrder(v); // v stays pending
+                        next = mkLit(rv, nextRandom() & 1);
+                    }
+                }
             }
             trailLim_.push_back(static_cast<int>(trail_.size()));
             uncheckedEnqueue(next, kCRefUndef);

@@ -111,6 +111,24 @@ class Solver
     bool modelValue(Lit l) const;
 
     /**
+     * Perturb the decision heuristic with @p seed (0 restores the
+     * deterministic default). A non-zero seed jitters the variable
+     * activities and saved phases before the next solve() and makes a
+     * small fraction of decisions random, steering the search down a
+     * different path - used by the verification runner to retry a solve
+     * whose witness failed its simulation audit.
+     */
+    void setDecisionSeed(uint64_t seed);
+
+    /**
+     * True once the solver has degraded (clause-database allocation
+     * failed, really or through the `sat.alloc` fault point). A degraded
+     * solver answers Unknown from every subsequent solve() instead of
+     * risking an unsound verdict on an incomplete clause set.
+     */
+    bool degraded() const { return allocFailed_; }
+
+    /**
      * After an Unsat result caused by the assumptions, the subset of
      * assumption literals involved in the final conflict (MiniSat's
      * `analyzeFinal`). Empty when the clause set is unsatisfiable on its
@@ -202,6 +220,8 @@ class Solver
     Var pickBranchVar();
     void insertVarOrder(Var v);
     void reduceDB();
+    uint64_t nextRandom();
+    void applySeedPerturbation();
 
     // Indexed max-heap on var activity.
     void heapDecrease(int pos);
@@ -240,6 +260,10 @@ class Solver
     std::vector<LBool> model_;
     std::vector<Lit> conflict_;
     bool ok_ = true;
+    bool allocFailed_ = false;
+
+    uint64_t seed_ = 0;       ///< xorshift state for randomized decisions
+    bool seedPending_ = false; ///< activity jitter owed before next solve
 
     double maxLearnts_ = 0;
     SolverStats stats_;

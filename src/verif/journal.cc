@@ -1,0 +1,143 @@
+#include "verif/journal.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/faultpoint.h"
+#include "base/logging.h"
+
+namespace csl::verif {
+
+bool
+Journal::save(const std::string &path) const
+{
+    if (fault::shouldFire("journal.write"))
+        return false;
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return false;
+        out << "csl-journal " << kVersion << "\n";
+        out << "fingerprint " << fingerprint << "\n";
+        for (const auto &[key, value] : params)
+            out << "param " << key << " " << value << "\n";
+        out << "bmc-safe " << bmcSafeDepth << "\n";
+        if (provenValid) {
+            out << "proven";
+            for (const std::string &name : provenInvariants)
+                out << " " << name;
+            out << "\n";
+        }
+        if (!prunedCandidates.empty()) {
+            out << "pruned";
+            for (const std::string &name : prunedCandidates)
+                out << " " << name;
+            out << "\n";
+        }
+        for (const Stage &stage : stages)
+            out << "stage " << stage.name << " " << stage.verdict << " "
+                << stage.depth << " " << stage.seconds << "\n";
+        if (!finalVerdict.empty())
+            out << "final " << finalVerdict << "\n";
+        out.flush();
+        if (!out)
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::optional<Journal>
+Journal::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    Journal journal;
+    std::string line;
+    bool header_seen = false;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string tag;
+        if (!(ls >> tag))
+            continue;
+        if (tag == "csl-journal") {
+            int version = 0;
+            ls >> version;
+            if (version != kVersion)
+                return std::nullopt;
+            header_seen = true;
+        } else if (tag == "fingerprint") {
+            ls >> journal.fingerprint;
+        } else if (tag == "param") {
+            std::string key, value;
+            ls >> key >> value;
+            journal.params[key] = value;
+        } else if (tag == "bmc-safe") {
+            ls >> journal.bmcSafeDepth;
+        } else if (tag == "proven") {
+            journal.provenValid = true;
+            std::string name;
+            while (ls >> name)
+                journal.provenInvariants.push_back(name);
+        } else if (tag == "pruned") {
+            std::string name;
+            while (ls >> name)
+                journal.prunedCandidates.push_back(name);
+        } else if (tag == "stage") {
+            Stage stage;
+            ls >> stage.name >> stage.verdict >> stage.depth >>
+                stage.seconds;
+            journal.stages.push_back(std::move(stage));
+        } else if (tag == "final") {
+            ls >> journal.finalVerdict;
+        }
+        // Unknown tags are ignored: forward-compatible within a version.
+    }
+    if (!header_seen)
+        return std::nullopt;
+    return journal;
+}
+
+std::string
+Journal::param(const std::string &key, const std::string &fallback) const
+{
+    auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+}
+
+std::string
+fingerprintCircuit(const rtl::Circuit &circuit)
+{
+    uint64_t h = 0xcbf29ce484222325ull; // FNV-1a offset basis
+    auto mix = [&h](const void *data, size_t n) {
+        const unsigned char *p = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 0x100000001b3ull;
+        }
+    };
+    auto mixValue = [&](uint64_t v) { mix(&v, sizeof(v)); };
+    mixValue(circuit.numNets());
+    mixValue(circuit.registers().size());
+    mixValue(circuit.inputs().size());
+    mixValue(circuit.bads().size());
+    mixValue(circuit.constraints().size());
+    mixValue(circuit.initConstraints().size());
+    for (rtl::NetId id = 0; id < rtl::NetId(circuit.numNets()); ++id) {
+        std::string name = circuit.name(id);
+        mix(name.data(), name.size());
+        mixValue(uint64_t(circuit.net(id).width));
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+} // namespace csl::verif

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Run journal for checkpoint/resume of verification tasks. The paper's
+ * JasperGold runs take up to 7 days; a killed process must not throw
+ * that work away. The resilient runner serializes its durable facts -
+ * the deepest BMC bound proven bad-free, the proven (or partially
+ * pruned) Houdini invariant set, per-stage outcomes - to a small text
+ * file at every stage boundary, and `cslv --resume <journal>` picks the
+ * run back up from there.
+ *
+ * Soundness: a journal is only trusted when its circuit fingerprint
+ * matches the rebuilt verification circuit, so resumed bounds and
+ * invariants are facts about the exact same netlist. Proven invariants
+ * are reused directly; a partially pruned candidate set merely reseeds
+ * the Houdini loop, which re-verifies everything it keeps.
+ *
+ * Format: line-oriented text, one `key value...` record per line (see
+ * save()); written atomically via a temp file + rename so a crash
+ * mid-write never corrupts the previous checkpoint.
+ */
+
+#ifndef CSL_VERIF_JOURNAL_H_
+#define CSL_VERIF_JOURNAL_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtl/circuit.h"
+
+namespace csl::verif {
+
+/** Serializable checkpoint state of a (possibly unfinished) run. */
+struct Journal
+{
+    static constexpr int kVersion = 1;
+
+    /** Circuit fingerprint guarding resume against task mismatches. */
+    std::string fingerprint;
+
+    /** Task-reconstruction parameters (written by cslv / the runner so
+     * `cslv --resume <journal>` needs no other flags). */
+    std::map<std::string, std::string> params;
+
+    /** One record per completed runner stage. */
+    struct Stage
+    {
+        std::string name;
+        std::string verdict;
+        size_t depth = 0;
+        double seconds = 0;
+    };
+    std::vector<Stage> stages;
+
+    /** Deepest BMC bound proven bad-free so far. */
+    size_t bmcSafeDepth = 0;
+
+    /** Houdini survivors proven jointly inductive (net names). Only
+     * meaningful when provenValid; an empty proven set is a result too. */
+    std::vector<std::string> provenInvariants;
+    bool provenValid = false;
+
+    /** Mid-Houdini pruning front (unproven; reseeds a resumed search). */
+    std::vector<std::string> prunedCandidates;
+
+    /** Final verdict name once the run completed; empty while in flight. */
+    std::string finalVerdict;
+
+    /**
+     * Write atomically to @p path. Returns false when the write fails
+     * (including via the `journal.write` fault point); callers treat
+     * that as "checkpointing unavailable" and keep running.
+     */
+    bool save(const std::string &path) const;
+
+    /** Parse @p path; nullopt on missing file / version mismatch. */
+    static std::optional<Journal> load(const std::string &path);
+
+    /** Look up a param with a default. */
+    std::string param(const std::string &key,
+                      const std::string &fallback = "") const;
+};
+
+/**
+ * FNV-1a fingerprint of a finalized circuit: net count, role counts and
+ * every net's name and width. Two circuits built by the same scheme
+ * from the same task collide; anything else - different preset, defense,
+ * contract, scheme, ablation flag or code version that changes the
+ * netlist - does not (up to hash collisions).
+ */
+std::string fingerprintCircuit(const rtl::Circuit &circuit);
+
+} // namespace csl::verif
+
+#endif // CSL_VERIF_JOURNAL_H_

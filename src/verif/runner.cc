@@ -1,0 +1,639 @@
+#include "verif/runner.h"
+
+#include <algorithm>
+#include <csignal>
+#include <sstream>
+
+#include "base/faultpoint.h"
+#include "base/logging.h"
+#include "base/stopwatch.h"
+#include "isa/isa.h"
+#include "mc/trace.h"
+#include "rtl/analysis/analysis.h"
+#include "shadow/baseline_builder.h"
+#include "shadow/shadow_builder.h"
+
+namespace csl::verif {
+
+using contract::Contract;
+using mc::Verdict;
+using rtl::NetId;
+
+namespace {
+
+/** The verification circuit plus everything the runner needs around it. */
+struct BuiltTask
+{
+    rtl::Circuit circuit;
+    proc::CoreIfc cpu1, cpu2;
+    std::vector<NetId> candidates;
+    NetId quiescent = rtl::kNoNet;
+    rtl::analysis::Report preflight;
+    size_t staticSeeds = 0;
+};
+
+void
+buildTaskCircuit(const VerificationTask &task, bool strengthen,
+                 BuiltTask &out)
+{
+    if (task.scheme == Scheme::Baseline) {
+        shadow::BaselineHarness h = shadow::buildBaselineCircuit(
+            out.circuit, task.core, task.contract,
+            task.assumeSecretsDiffer);
+        out.cpu1 = h.cpu1;
+        out.cpu2 = h.cpu2;
+        out.preflight = h.preflight;
+    } else {
+        shadow::ShadowOptions sopts;
+        sopts.contract = task.contract;
+        sopts.restrictToBranchSpeculation =
+            task.scheme == Scheme::UpecLike;
+        sopts.enablePause = task.enablePause;
+        sopts.enableDrainCheck = task.enableDrainCheck;
+        sopts.assumeSecretsDiffer = task.assumeSecretsDiffer;
+        sopts.excludeMisaligned = task.excludeMisaligned;
+        sopts.excludeOutOfRange = task.excludeOutOfRange;
+        sopts.emitRelationalCandidates = strengthen;
+        shadow::ShadowHarness h =
+            shadow::buildShadowCircuit(out.circuit, task.core, sopts);
+        out.cpu1 = h.cpu1;
+        out.cpu2 = h.cpu2;
+        out.candidates = h.relationalCandidates;
+        out.quiescent = h.quiescentCandidate;
+        out.preflight = h.preflight;
+        out.staticSeeds = h.staticSeedCount;
+    }
+}
+
+/** Read a memory's initial contents out of a counterexample trace. */
+std::vector<uint64_t>
+memFromTrace(const mc::Trace &trace, const std::vector<rtl::Sig> &words_sig)
+{
+    std::vector<uint64_t> words(words_sig.size(), 0);
+    for (size_t i = 0; i < words_sig.size(); ++i) {
+        auto it = trace.initialRegs.find(words_sig[i].id);
+        if (it != trace.initialRegs.end())
+            words[i] = it->second;
+    }
+    return words;
+}
+
+/** Human-readable attack report: program, secrets, witness replay. */
+std::string
+decodeAttack(const rtl::Circuit &circuit, const mc::Trace &trace,
+             const proc::CoreIfc &cpu1, const proc::CoreIfc &cpu2,
+             const isa::IsaConfig &ic)
+{
+    std::ostringstream oss;
+    auto imem = memFromTrace(trace, cpu1.imemWords);
+    auto dmem1 = memFromTrace(trace, cpu1.dmemWords);
+    auto dmem2 = memFromTrace(trace, cpu2.dmemWords);
+    oss << "attack program (" << trace.length << " cycles to leak):\n"
+        << isa::disassembleProgram(imem, ic);
+    oss << "  dmem1:";
+    for (uint64_t w : dmem1)
+        oss << " " << w;
+    oss << "   dmem2:";
+    for (uint64_t w : dmem2)
+        oss << " " << w;
+    oss << "\n";
+    mc::ReplayResult replay = mc::replayTrace(circuit, trace);
+    oss << "  witness replay: "
+        << (replay.badReached && replay.constraintsHeld &&
+                    replay.initConstraintsHeld
+                ? "confirmed in simulation"
+                : "REPLAY MISMATCH (engine bug?)")
+        << "\n";
+    // The shadow circuits have no free inputs, so the counterexample can
+    // be replayed deterministically beyond its reported end; a contract
+    // violation there means the checker accepted a program a longer
+    // contract check would have filtered (the instruction-inclusion
+    // requirement exists to prevent exactly this).
+    mc::Trace extended = trace;
+    extended.length += 24;
+    extended.inputs.resize(extended.length);
+    mc::ReplayResult cont = mc::replayTrace(circuit, extended);
+    oss << "  contract check over " << extended.length << " cycles: "
+        << (cont.constraintsHeld
+                ? "still satisfied"
+                : "violated after the reported leak (with the drain "
+                  "check on, only instructions issued after the "
+                  "divergence are involved; with it off this can mask a "
+                  "filtered program)")
+        << "\n";
+    return oss.str();
+}
+
+/** Witness self-audit verdict. */
+struct Audit
+{
+    bool ok = false;
+    std::string why;
+};
+
+/**
+ * Replay an Attack trace through the interpreter: every assumption must
+ * hold on every replayed cycle and the assertion must fire at exactly
+ * the reported frame. Anything else means the SAT model and the RTL
+ * semantics disagree - a solver/encoder bug or injected corruption -
+ * and the witness must not be reported as an attack.
+ */
+Audit
+auditWitness(const rtl::Circuit &circuit, const mc::Trace &trace,
+             size_t reported_depth)
+{
+    Audit audit;
+    if (trace.length != reported_depth + 1) {
+        audit.why = "trace length disagrees with the reported frame";
+        return audit;
+    }
+    mc::ReplayResult replay = mc::replayTrace(circuit, trace);
+    if (!replay.initConstraintsHeld)
+        audit.why = "initial-state assumptions violated in replay";
+    else if (!replay.constraintsHeld)
+        audit.why = "environment assumptions violated in replay";
+    else if (!replay.badReached)
+        audit.why = "assertion did not fire at the reported frame";
+    else
+        audit.ok = true;
+    return audit;
+}
+
+std::vector<std::string>
+netNames(const rtl::Circuit &circuit, const std::vector<NetId> &nets)
+{
+    std::vector<std::string> names;
+    names.reserve(nets.size());
+    for (NetId id : nets)
+        names.push_back(circuit.name(id));
+    return names;
+}
+
+/** Map journal net names back to ids; nullopt when any name is gone. */
+std::optional<std::vector<NetId>>
+netsByName(const rtl::Circuit &circuit,
+           const std::vector<std::string> &names)
+{
+    std::vector<NetId> nets;
+    nets.reserve(names.size());
+    for (const std::string &name : names) {
+        NetId id = circuit.findByName(name);
+        if (id == rtl::kNoNet)
+            return std::nullopt;
+        nets.push_back(id);
+    }
+    return nets;
+}
+
+/** Mix for per-retry decision seeds (splitmix64 step). */
+uint64_t
+mixSeed(uint64_t seed, uint64_t attempt)
+{
+    uint64_t z = seed + 0x9E3779B97F4A7C15ull * (attempt + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return (z ^ (z >> 31)) | 1; // never 0: keep perturbation active
+}
+
+} // namespace
+
+std::map<std::string, std::string>
+journalParams(const VerificationTask &task)
+{
+    std::map<std::string, std::string> params;
+    auto put = [&](const char *key, auto value) {
+        params[key] = std::to_string(value);
+    };
+    put("kind", int(task.core.kind));
+    put("defense", int(task.core.ooo.defense));
+    put("rob", task.core.ooo.robSize);
+    put("regs", task.core.ooo.isa.regCount);
+    put("imem", task.core.ooo.isa.imemSize);
+    put("dmem", task.core.ooo.isa.dmemSize);
+    put("contract", int(task.contract));
+    put("scheme", int(task.scheme));
+    put("maxDepth", task.maxDepth);
+    put("timeout", task.timeoutSeconds);
+    put("tryProof", int(task.tryProof));
+    put("preflight", int(task.preflight));
+    put("autoStrengthen", int(task.autoStrengthen));
+    put("strengthenWindow", task.strengthenWindow);
+    put("assumeSecretsDiffer", int(task.assumeSecretsDiffer));
+    put("enablePause", int(task.enablePause));
+    put("enableDrainCheck", int(task.enableDrainCheck));
+    put("excludeMisaligned", int(task.excludeMisaligned));
+    put("excludeOutOfRange", int(task.excludeOutOfRange));
+    return params;
+}
+
+std::optional<VerificationTask>
+taskFromJournalParams(const std::map<std::string, std::string> &params)
+{
+    auto get = [&](const char *key) -> std::optional<long long> {
+        auto it = params.find(key);
+        if (it == params.end())
+            return std::nullopt;
+        try {
+            return std::stoll(it->second);
+        } catch (...) {
+            return std::nullopt;
+        }
+    };
+    auto kind = get("kind");
+    auto defense = get("defense");
+    if (!kind || !defense)
+        return std::nullopt;
+
+    VerificationTask task;
+    auto def = defense::Defense(*defense);
+    switch (proc::CoreKind(*kind)) {
+      case proc::CoreKind::IsaSingleCycle:
+        task.core = proc::isaMachineSpec();
+        break;
+      case proc::CoreKind::InOrder:
+        task.core = proc::inOrderSpec();
+        break;
+      case proc::CoreKind::SimpleOoO:
+        task.core = proc::simpleOoOSpec(def);
+        break;
+      case proc::CoreKind::RideLite:
+        task.core = proc::rideLiteSpec(def);
+        break;
+      case proc::CoreKind::BoomLike:
+        task.core = proc::boomLikeSpec(def);
+        break;
+      default:
+        return std::nullopt;
+    }
+    if (auto v = get("rob"))
+        task.core.ooo.robSize = int(*v);
+    if (auto v = get("regs"))
+        task.core.ooo.isa.regCount = int(*v);
+    if (auto v = get("imem"))
+        task.core.ooo.isa.imemSize = size_t(*v);
+    if (auto v = get("dmem"))
+        task.core.ooo.isa.dmemSize = size_t(*v);
+    if (auto v = get("contract"))
+        task.contract = Contract(*v);
+    if (auto v = get("scheme"))
+        task.scheme = Scheme(*v);
+    if (auto v = get("maxDepth"))
+        task.maxDepth = size_t(*v);
+    {
+        auto it = params.find("timeout");
+        if (it != params.end())
+            task.timeoutSeconds = std::atof(it->second.c_str());
+    }
+    if (auto v = get("tryProof"))
+        task.tryProof = *v != 0;
+    if (auto v = get("preflight"))
+        task.preflight = *v != 0;
+    if (auto v = get("autoStrengthen"))
+        task.autoStrengthen = *v != 0;
+    if (auto v = get("strengthenWindow"))
+        task.strengthenWindow = size_t(*v);
+    if (auto v = get("assumeSecretsDiffer"))
+        task.assumeSecretsDiffer = *v != 0;
+    if (auto v = get("enablePause"))
+        task.enablePause = *v != 0;
+    if (auto v = get("enableDrainCheck"))
+        task.enableDrainCheck = *v != 0;
+    if (auto v = get("excludeMisaligned"))
+        task.excludeMisaligned = *v != 0;
+    if (auto v = get("excludeOutOfRange"))
+        task.excludeOutOfRange = *v != 0;
+    return task;
+}
+
+RunnerResult
+runResilientVerification(const VerificationTask &task,
+                         const RunnerOptions &options)
+{
+    Stopwatch watch;
+    RunnerResult rr;
+    VerificationResult &res = rr.result;
+    const isa::IsaConfig &ic = task.core.isaConfig();
+    const bool strengthen = task.autoStrengthen && task.tryProof &&
+                            task.scheme != Scheme::Baseline;
+
+    BuiltTask built;
+    buildTaskCircuit(task, strengthen, built);
+    const rtl::Circuit &circuit = built.circuit;
+
+    std::vector<std::string> notes;
+
+    // --- Static pre-flight gate -----------------------------------------
+    std::string preflight_note;
+    if (task.preflight) {
+        rtl::analysis::AnalysisOptions aopts;
+        aopts.extraRoots = built.candidates;
+        rtl::analysis::Report report =
+            rtl::analysis::runAll(circuit, aopts);
+        report.merge(built.preflight);
+        if (report.hasErrors()) {
+            res.verdict = Verdict::Diagnosed;
+            res.seconds = watch.seconds();
+            res.detail = "pre-flight failed (" + report.summary() +
+                         "):\n" +
+                         report.format(rtl::analysis::Severity::Warning);
+            return rr;
+        }
+        preflight_note = "preflight " + report.summary();
+        if (strengthen && !built.candidates.empty())
+            preflight_note += ", " + std::to_string(built.staticSeeds) +
+                              "/" +
+                              std::to_string(built.candidates.size()) +
+                              " static secret-free seeds";
+    }
+
+    // --- Deadline + journal setup ---------------------------------------
+    Deadline root = options.deadline
+                        ? options.deadline->slice(task.timeoutSeconds)
+                        : Deadline::in(task.timeoutSeconds);
+
+    Journal journal;
+    journal.fingerprint = fingerprintCircuit(circuit);
+    journal.params = journalParams(task);
+    const bool checkpointing = !options.journalPath.empty();
+
+    std::vector<NetId> invariants;     // proven, usable as assumptions
+    std::vector<NetId> candidateSeed = built.candidates;
+    bool resumedInvariants = false;
+
+    if (options.resume && checkpointing) {
+        auto loaded = Journal::load(options.journalPath);
+        if (loaded && loaded->fingerprint == journal.fingerprint) {
+            rr.resumed = true;
+            rr.deepestSafeBound = loaded->bmcSafeDepth;
+            if (loaded->provenValid) {
+                if (auto nets = netsByName(circuit,
+                                           loaded->provenInvariants)) {
+                    invariants = *nets;
+                    resumedInvariants = true;
+                    journal.provenInvariants = loaded->provenInvariants;
+                    journal.provenValid = true;
+                }
+            } else if (!loaded->prunedCandidates.empty()) {
+                // Unproven pruning front: a smaller seed for Houdini.
+                if (auto nets = netsByName(circuit,
+                                           loaded->prunedCandidates))
+                    candidateSeed = *nets;
+            }
+            notes.push_back(
+                "resumed: safe bound " +
+                std::to_string(loaded->bmcSafeDepth) +
+                (resumedInvariants
+                     ? ", " +
+                           std::to_string(invariants.size()) +
+                           " proven invariants"
+                     : ""));
+        } else if (loaded) {
+            csl_warn("journal ", options.journalPath,
+                     " does not match this task (fingerprint ",
+                     loaded->fingerprint, " vs ", journal.fingerprint,
+                     "); starting fresh");
+        }
+    }
+    journal.bmcSafeDepth = rr.deepestSafeBound;
+
+    auto checkpoint = [&](const char *boundary) {
+        if (!checkpointing)
+            return;
+        if (!journal.save(options.journalPath)) {
+            csl_warn("journal write failed at ", boundary,
+                     "; continuing without checkpointing");
+            return;
+        }
+        // Crash injection for the kill+resume test: die only after the
+        // checkpoint is durably on disk, like a real mid-run SIGKILL.
+        if (fault::shouldFire("runner.kill"))
+            std::raise(SIGKILL);
+    };
+
+    auto recordStage = [&](StageOutcome outcome) {
+        journal.stages.push_back({outcome.name,
+                                  mc::verdictName(outcome.verdict),
+                                  outcome.depth, outcome.seconds});
+        rr.stages.push_back(std::move(outcome));
+    };
+
+    // --- Houdini strengthening (window 1) --------------------------------
+    // The window escalates across stages: most defenses prove with
+    // 1-step-inductive invariants; defenses that condition protection on
+    // in-flight state (the *_spectre variants) need a window wide enough
+    // to contain the commit of a bound-to-commit instruction (roughly a
+    // double ROB drain), so that the contract assumption excuses its
+    // transient state. The wide window runs in the strengthened-retry
+    // stage only when the first proof attempt fails.
+    const bool is_ooo = task.core.kind != proc::CoreKind::InOrder &&
+                        task.core.kind != proc::CoreKind::IsaSingleCycle;
+    const size_t wide_window =
+        task.strengthenWindow != 0
+            ? task.strengthenWindow
+            : std::min<size_t>(18, 3 * size_t(task.core.ooo.robSize) + 4);
+    const size_t first_window =
+        task.strengthenWindow != 0 ? task.strengthenWindow : 1;
+    std::string houdini_note;
+    bool quiescent_proven = false;
+
+    auto runHoudini = [&](size_t window, double budget_seconds) {
+        Stopwatch hw;
+        Budget houdini_budget(budget_seconds);
+        houdini_budget.attachDeadline(root);
+        std::vector<NetId> pruning_front;
+        auto survivors = mc::proveInductiveInvariants(
+            circuit, candidateSeed, &houdini_budget, window,
+            &pruning_front);
+        StageOutcome outcome;
+        outcome.name = "houdini-w" + std::to_string(window);
+        outcome.seconds = hw.seconds();
+        if (!survivors) {
+            // Interrupted: salvage the pruning front for resume.
+            outcome.verdict = Verdict::Timeout;
+            outcome.note = "interrupted with " +
+                           std::to_string(pruning_front.size()) +
+                           " candidates still alive";
+            journal.prunedCandidates = netNames(circuit, pruning_front);
+            houdini_note = "invariant search timed out (w=" +
+                           std::to_string(window) + ")";
+            recordStage(std::move(outcome));
+            return false;
+        }
+        bool quiet = built.quiescent != rtl::kNoNet &&
+                     std::find(survivors->begin(), survivors->end(),
+                               built.quiescent) != survivors->end();
+        if (quiet || survivors->size() > invariants.size())
+            invariants = *survivors;
+        quiescent_proven = quiet;
+        journal.provenInvariants = netNames(circuit, invariants);
+        journal.provenValid = true;
+        journal.prunedCandidates.clear();
+        houdini_note = std::to_string(invariants.size()) + "/" +
+                       std::to_string(built.candidates.size()) +
+                       " invariants (w=" + std::to_string(window) + ")";
+        outcome.verdict = Verdict::BoundedSafe;
+        outcome.depth = invariants.size();
+        outcome.note = houdini_note;
+        recordStage(std::move(outcome));
+        return true;
+    };
+
+    // --- One engine stage with the mandatory witness self-audit ----------
+    uint64_t conflicts = 0;
+    std::optional<mc::CheckResult> audited_attack;
+
+    auto runStage = [&](const char *name, bool try_proof,
+                        double slice_seconds) -> mc::CheckResult {
+        mc::CheckOptions copts;
+        copts.maxDepth = task.maxDepth;
+        copts.tryProof = try_proof;
+        copts.assumedInvariants = invariants;
+        copts.deadline = root;
+        Stopwatch sw;
+        mc::CheckResult cres;
+        double slice = slice_seconds;
+        for (size_t attempt = 0;; ++attempt) {
+            copts.timeoutSeconds = slice;
+            copts.decisionSeed =
+                attempt == 0 ? options.decisionSeed
+                             : mixSeed(options.decisionSeed, attempt);
+            copts.startSafeDepth = rr.deepestSafeBound;
+            cres = mc::checkProperty(circuit, copts);
+            conflicts += cres.conflicts;
+            rr.deepestSafeBound =
+                std::max(rr.deepestSafeBound, cres.deepestSafeBound);
+            journal.bmcSafeDepth = rr.deepestSafeBound;
+            if (cres.verdict != Verdict::Attack)
+                break;
+
+            Audit audit = auditWitness(
+                circuit, cres.trace ? *cres.trace : mc::Trace{},
+                cres.depth);
+            if (audit.ok) {
+                audited_attack = cres;
+                break;
+            }
+            // Quarantine: the model and the RTL semantics disagree.
+            ++rr.quarantinedWitnesses;
+            csl_warn("witness audit failed at depth ", cres.depth, " (",
+                     audit.why, "); quarantining and retrying with a ",
+                     "perturbed decision seed");
+            double remaining =
+                std::min(slice_seconds - sw.seconds(), root.remaining());
+            if (attempt >= options.maxAuditRetries || remaining < 0.05) {
+                // Out of retries or budget: degrade, never emit the
+                // unaudited attack.
+                cres.verdict = Verdict::BoundedSafe;
+                cres.trace.reset();
+                cres.depth = rr.deepestSafeBound;
+                notes.push_back("quarantined unaudited witness (" +
+                                audit.why + "; " +
+                                std::to_string(attempt + 1) +
+                                " attempt(s))");
+                break;
+            }
+            ++rr.auditRetries;
+            // Backoff on the remaining budget: each retry gets half of
+            // what is left, so a corrupted solve cannot starve the
+            // later stages.
+            slice = remaining / 2;
+        }
+        StageOutcome outcome;
+        outcome.name = name;
+        outcome.verdict = cres.verdict;
+        outcome.depth = cres.depth;
+        outcome.seconds = sw.seconds();
+        recordStage(std::move(outcome));
+        return cres;
+    };
+
+    auto concluded = [&](const mc::CheckResult &cres) {
+        return cres.verdict == Verdict::Proof ||
+               (cres.verdict == Verdict::Attack && audited_attack);
+    };
+
+    // --- Staged fallback --------------------------------------------------
+    mc::CheckResult last;
+    bool have_result = false;
+
+    if (task.tryProof) {
+        // Stage 1: Houdini (first window) + k-induction on a slice.
+        if (strengthen && !candidateSeed.empty() && !resumedInvariants)
+            runHoudini(first_window, root.remaining() / 4);
+        checkpoint("houdini");
+        double slice1 = root.remaining() * options.stage1Fraction;
+        last = runStage("kinduction", true, slice1);
+        have_result = true;
+        checkpoint("kinduction");
+
+        // Stage 2: strengthened retry - wider invariant window, second
+        // proof attempt - when the first was inconclusive.
+        if (!concluded(last) && strengthen && is_ooo &&
+            !quiescent_proven && first_window < wide_window &&
+            root.remaining() > 0.05) {
+            candidateSeed = built.candidates;
+            runHoudini(wide_window, root.remaining() / 2);
+            checkpoint("houdini-wide");
+            if (root.remaining() > 0.05) {
+                double slice2 =
+                    root.remaining() * options.stage2Fraction;
+                last = runStage("kinduction-strengthened", true, slice2);
+                checkpoint("kinduction-strengthened");
+            }
+        }
+
+        // Stage 3: BMC-only fallback - push the safe bound as deep as
+        // the remaining clock allows.
+        if (!concluded(last) && rr.deepestSafeBound < task.maxDepth &&
+            root.remaining() > 0.05) {
+            last = runStage("bmc", false, root.remaining());
+            checkpoint("bmc");
+        }
+    } else {
+        last = runStage("bmc", false, root.remaining());
+        have_result = true;
+        checkpoint("bmc");
+    }
+
+    // --- Verdict synthesis ------------------------------------------------
+    csl_assert(have_result, "no stage ran");
+    if (audited_attack) {
+        res.verdict = Verdict::Attack;
+        res.depth = audited_attack->depth;
+        res.attackReport = decodeAttack(circuit, *audited_attack->trace,
+                                        built.cpu1, built.cpu2, ic);
+    } else if (last.verdict == Verdict::Proof) {
+        res.verdict = Verdict::Proof;
+        res.depth = last.depth;
+    } else if (rr.deepestSafeBound >= task.maxDepth ||
+               rr.quarantinedWitnesses > 0) {
+        // Bounded-safe up to the requested depth, or degraded after
+        // quarantining every witness; either way the honest bound is
+        // the deepest audited-safe one.
+        res.verdict = Verdict::BoundedSafe;
+        res.depth = rr.deepestSafeBound;
+    } else {
+        res.verdict = Verdict::Timeout;
+        res.depth = rr.deepestSafeBound;
+        notes.push_back("salvaged safe bound " +
+                        std::to_string(rr.deepestSafeBound));
+    }
+    res.conflicts = conflicts;
+    res.seconds = watch.seconds();
+
+    std::ostringstream detail;
+    if (!houdini_note.empty())
+        detail << houdini_note;
+    if (!preflight_note.empty())
+        detail << (detail.tellp() > 0 ? "; " : "") << preflight_note;
+    for (const std::string &note : notes)
+        detail << (detail.tellp() > 0 ? "; " : "") << note;
+    res.detail = detail.str();
+
+    journal.finalVerdict = mc::verdictName(res.verdict);
+    if (checkpointing && !journal.save(options.journalPath))
+        csl_warn("final journal write failed");
+    return rr;
+}
+
+} // namespace csl::verif

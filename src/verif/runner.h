@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The resilient verification runtime: staged engine fallback with
+ * deadline propagation, a mandatory witness self-audit on every attack
+ * verdict, and journal-based checkpoint/resume.
+ *
+ * Motivation (ISSUE 2): multi-day solver runs are trusted to prove,
+ * find an attack, or time out cleanly - a solver hiccup, an
+ * unreplayable counterexample or a killed process must not throw the
+ * run away or, worse, report a wrong attack. Revizor-style tooling only
+ * trusts speculative-leak reports after independent replay; this runner
+ * applies the same discipline to model-checker witnesses.
+ *
+ * Stage plan (each stage inherits the *remaining* wall clock through a
+ * Deadline slice, never the full timeout):
+ *
+ *   1. kinduction             Houdini strengthening (window 1) +
+ *                             k-induction proof attempt
+ *   2. kinduction-strengthened  wider invariant window (OoO cores), a
+ *                             second proof attempt on what survived
+ *   3. bmc                    bounded falsification only; pushes the
+ *                             safe bound as deep as the clock allows
+ *
+ * Every Verdict::Attack is replayed through the sim interpreter before
+ * being reported: all assumptions must hold and the assertion must fire
+ * at the reported frame. On mismatch the witness is quarantined and the
+ * solve retried with a perturbed decision seed (bounded retries, each
+ * on a shrinking slice of the remaining budget); if no audited witness
+ * emerges the run degrades to BoundedSafe-with-detail rather than
+ * emitting a wrong attack. A partial answer (deepest safe bound,
+ * surviving invariants) is always salvaged from a cancelled stage.
+ */
+
+#ifndef CSL_VERIF_RUNNER_H_
+#define CSL_VERIF_RUNNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/deadline.h"
+#include "verif/journal.h"
+#include "verif/task.h"
+
+namespace csl::verif {
+
+/** Knobs of the resilient runner (defaults match runVerification()). */
+struct RunnerOptions
+{
+    /** Seed-perturbed re-solves allowed after a failed witness audit. */
+    size_t maxAuditRetries = 2;
+
+    /** Journal file for checkpoint/resume; empty = no checkpointing. */
+    std::string journalPath;
+
+    /** Load journalPath and warm-start from it (fingerprint-guarded). */
+    bool resume = false;
+
+    /** Share of the remaining wall clock granted to the first proof
+     * stage (the rest is kept for the strengthened retry and BMC). */
+    double stage1Fraction = 0.5;
+
+    /** Share of what then remains granted to the strengthened retry. */
+    double stage2Fraction = 0.5;
+
+    /** External deadline/cancellation token; the task budget is sliced
+     * from it so a cancel() stops every stage cooperatively. */
+    std::optional<Deadline> deadline;
+
+    /** Base SAT decision seed (0 = deterministic default search). */
+    uint64_t decisionSeed = 0;
+};
+
+/** What happened in one runner stage. */
+struct StageOutcome
+{
+    std::string name;
+    mc::Verdict verdict = mc::Verdict::Timeout;
+    size_t depth = 0;
+    double seconds = 0;
+    std::string note;
+};
+
+/** runVerification()'s result plus the runner's resilience telemetry. */
+struct RunnerResult
+{
+    VerificationResult result;
+    std::vector<StageOutcome> stages;
+    /** Witnesses that failed the simulation audit and were suppressed. */
+    size_t quarantinedWitnesses = 0;
+    /** Seed-perturbed re-solves performed after failed audits. */
+    size_t auditRetries = 0;
+    /** Deepest bound proven bad-free across all stages (and resume). */
+    size_t deepestSafeBound = 0;
+    /** True when a journal was loaded and its facts were reused. */
+    bool resumed = false;
+};
+
+/**
+ * Run a model-checking task (ContractShadow / Baseline / UpecLike)
+ * through the resilient staged pipeline. Leave/Fuzz tasks are not
+ * staged; runVerification() dispatches them directly.
+ */
+RunnerResult runResilientVerification(const VerificationTask &task,
+                                      const RunnerOptions &options = {});
+
+/** The journal params the runner records for task reconstruction. */
+std::map<std::string, std::string> journalParams(
+    const VerificationTask &task);
+
+/**
+ * Rebuild a VerificationTask from journal params (the inverse of
+ * journalParams(), used by `cslv --resume`). Returns nullopt when
+ * required params are missing or unparsable.
+ */
+std::optional<VerificationTask> taskFromJournalParams(
+    const std::map<std::string, std::string> &params);
+
+} // namespace csl::verif
+
+#endif // CSL_VERIF_RUNNER_H_

@@ -1,6 +1,5 @@
 #include "verif/task.h"
 
-#include <algorithm>
 #include <sstream>
 
 #include "base/logging.h"
@@ -8,15 +7,10 @@
 #include "fuzz/fuzzer.h"
 #include "isa/isa.h"
 #include "leave/invariant_search.h"
-#include "mc/trace.h"
-#include "rtl/analysis/analysis.h"
-#include "shadow/baseline_builder.h"
-#include "shadow/shadow_builder.h"
-#include "sim/simulator.h"
+#include "verif/runner.h"
 
 namespace csl::verif {
 
-using contract::Contract;
 using mc::Verdict;
 
 const char *
@@ -33,202 +27,6 @@ schemeName(Scheme scheme)
 }
 
 namespace {
-
-/** Read a memory's initial contents out of a counterexample trace. */
-std::vector<uint64_t>
-memFromTrace(const mc::Trace &trace, const std::vector<rtl::Sig> &words_sig)
-{
-    std::vector<uint64_t> words(words_sig.size(), 0);
-    for (size_t i = 0; i < words_sig.size(); ++i) {
-        auto it = trace.initialRegs.find(words_sig[i].id);
-        if (it != trace.initialRegs.end())
-            words[i] = it->second;
-    }
-    return words;
-}
-
-/** Human-readable attack report: program, secrets, witness replay. */
-std::string
-decodeAttack(const rtl::Circuit &circuit, const mc::Trace &trace,
-             const proc::CoreIfc &cpu1, const proc::CoreIfc &cpu2,
-             const isa::IsaConfig &ic)
-{
-    std::ostringstream oss;
-    auto imem = memFromTrace(trace, cpu1.imemWords);
-    auto dmem1 = memFromTrace(trace, cpu1.dmemWords);
-    auto dmem2 = memFromTrace(trace, cpu2.dmemWords);
-    oss << "attack program (" << trace.length << " cycles to leak):\n"
-        << isa::disassembleProgram(imem, ic);
-    oss << "  dmem1:";
-    for (uint64_t w : dmem1)
-        oss << " " << w;
-    oss << "   dmem2:";
-    for (uint64_t w : dmem2)
-        oss << " " << w;
-    oss << "\n";
-    mc::ReplayResult replay = mc::replayTrace(circuit, trace);
-    oss << "  witness replay: "
-        << (replay.badReached && replay.constraintsHeld &&
-                    replay.initConstraintsHeld
-                ? "confirmed in simulation"
-                : "REPLAY MISMATCH (engine bug?)")
-        << "\n";
-    // The shadow circuits have no free inputs, so the counterexample can
-    // be replayed deterministically beyond its reported end; a contract
-    // violation there means the checker accepted a program a longer
-    // contract check would have filtered (the instruction-inclusion
-    // requirement exists to prevent exactly this).
-    mc::Trace extended = trace;
-    extended.length += 24;
-    extended.inputs.resize(extended.length);
-    mc::ReplayResult cont = mc::replayTrace(circuit, extended);
-    oss << "  contract check over " << extended.length << " cycles: "
-        << (cont.constraintsHeld
-                ? "still satisfied"
-                : "violated after the reported leak (with the drain "
-                  "check on, only instructions issued after the "
-                  "divergence are involved; with it off this can mask a "
-                  "filtered program)")
-        << "\n";
-    return oss.str();
-}
-
-VerificationResult
-runModelChecking(const VerificationTask &task)
-{
-    Stopwatch watch;
-    rtl::Circuit circuit;
-    proc::CoreIfc cpu1, cpu2;
-    std::vector<rtl::NetId> candidates;
-    rtl::NetId quiescent = rtl::kNoNet;
-    rtl::analysis::Report preflight;
-    size_t static_seeds = 0;
-    const isa::IsaConfig &ic = task.core.isaConfig();
-    const bool strengthen = task.autoStrengthen && task.tryProof &&
-                            task.scheme != Scheme::Baseline;
-
-    if (task.scheme == Scheme::Baseline) {
-        shadow::BaselineHarness h = shadow::buildBaselineCircuit(
-            circuit, task.core, task.contract, task.assumeSecretsDiffer);
-        cpu1 = h.cpu1;
-        cpu2 = h.cpu2;
-        preflight = h.preflight;
-    } else {
-        shadow::ShadowOptions sopts;
-        sopts.contract = task.contract;
-        sopts.restrictToBranchSpeculation =
-            task.scheme == Scheme::UpecLike;
-        sopts.enablePause = task.enablePause;
-        sopts.enableDrainCheck = task.enableDrainCheck;
-        sopts.assumeSecretsDiffer = task.assumeSecretsDiffer;
-        sopts.excludeMisaligned = task.excludeMisaligned;
-        sopts.excludeOutOfRange = task.excludeOutOfRange;
-        sopts.emitRelationalCandidates = strengthen;
-        shadow::ShadowHarness h =
-            shadow::buildShadowCircuit(circuit, task.core, sopts);
-        cpu1 = h.cpu1;
-        cpu2 = h.cpu2;
-        candidates = h.relationalCandidates;
-        quiescent = h.quiescentCandidate;
-        preflight = h.preflight;
-        static_seeds = h.staticSeedCount;
-    }
-
-    VerificationResult result;
-
-    // --- Static pre-flight gate -----------------------------------------
-    // Cheap linear passes that catch structural mistakes (vacuous
-    // assumes, input-free assert cones, mis-wired shadow machinery)
-    // before minutes of SAT budget are burned on them.
-    std::string preflight_note;
-    if (task.preflight) {
-        rtl::analysis::AnalysisOptions aopts;
-        aopts.extraRoots = candidates;
-        rtl::analysis::Report report =
-            rtl::analysis::runAll(circuit, aopts);
-        report.merge(preflight);
-        if (report.hasErrors()) {
-            result.verdict = Verdict::Diagnosed;
-            result.seconds = watch.seconds();
-            result.detail = "pre-flight failed (" + report.summary() +
-                            "):\n" +
-                            report.format(rtl::analysis::Severity::Warning);
-            return result;
-        }
-        preflight_note = "preflight " + report.summary();
-        if (strengthen && !candidates.empty())
-            preflight_note += ", " + std::to_string(static_seeds) + "/" +
-                              std::to_string(candidates.size()) +
-                              " static secret-free seeds";
-    }
-
-    mc::CheckOptions copts;
-    copts.maxDepth = task.maxDepth;
-    copts.tryProof = task.tryProof;
-
-    if (strengthen && !candidates.empty()) {
-        // Houdini pruning gets at most half the budget; the rest goes to
-        // the model-checking run proper. The window escalates: most
-        // defenses prove with 1-step-inductive invariants; defenses that
-        // condition protection on in-flight state (the *_spectre
-        // variants) need a window wide enough to contain the commit of a
-        // bound-to-commit instruction (roughly a double ROB drain), so
-        // that the contract assumption excuses its transient state.
-        Budget houdini_budget(task.timeoutSeconds / 2);
-        std::vector<size_t> windows;
-        if (task.strengthenWindow != 0) {
-            windows.push_back(task.strengthenWindow);
-        } else {
-            windows.push_back(1);
-            bool is_ooo = task.core.kind != proc::CoreKind::InOrder &&
-                          task.core.kind != proc::CoreKind::IsaSingleCycle;
-            if (is_ooo)
-                windows.push_back(std::min<size_t>(
-                    18, 3 * size_t(task.core.ooo.robSize) + 4));
-        }
-        std::ostringstream detail;
-        for (size_t wi = 0; wi < windows.size(); ++wi) {
-            auto survivors = mc::proveInductiveInvariants(
-                circuit, candidates, &houdini_budget, windows[wi]);
-            if (!survivors) {
-                detail << "invariant search timed out (w=" << windows[wi]
-                       << ")";
-                break;
-            }
-            bool quiet = quiescent != rtl::kNoNet &&
-                         std::find(survivors->begin(), survivors->end(),
-                                   quiescent) != survivors->end();
-            if (quiet || survivors->size() > copts.assumedInvariants.size())
-                copts.assumedInvariants = *survivors;
-            detail.str("");
-            detail << copts.assumedInvariants.size() << "/"
-                   << candidates.size() << " invariants (w="
-                   << windows[wi] << ")";
-            // Escalating is only useful while divergence-freedom has not
-            // been established.
-            if (quiet)
-                break;
-        }
-        result.detail = detail.str();
-    }
-
-    copts.timeoutSeconds = task.timeoutSeconds - watch.seconds();
-    mc::CheckResult cres = mc::checkProperty(circuit, copts);
-
-    result.verdict = cres.verdict;
-    result.seconds = watch.seconds();
-    result.depth = cres.depth;
-    result.conflicts = cres.conflicts;
-    if (!preflight_note.empty()) {
-        if (!result.detail.empty())
-            result.detail += "; ";
-        result.detail += preflight_note;
-    }
-    if (cres.verdict == Verdict::Attack && cres.trace)
-        result.attackReport =
-            decodeAttack(circuit, *cres.trace, cpu1, cpu2, ic);
-    return result;
-}
 
 VerificationResult
 runLeaveScheme(const VerificationTask &task)
@@ -298,7 +96,9 @@ runVerification(const VerificationTask &task)
       case Scheme::ContractShadow:
       case Scheme::Baseline:
       case Scheme::UpecLike:
-        return runModelChecking(task);
+        // Model-checking schemes go through the resilient staged runner
+        // (witness self-audit, engine fallback, partial-answer salvage).
+        return runResilientVerification(task).result;
       case Scheme::Leave:
         return runLeaveScheme(task);
       case Scheme::Fuzz:

@@ -1,0 +1,456 @@
+// Resilience-layer tests: fault-injection sites, cooperative deadlines,
+// adaptive budget latching, the run journal, the staged runner's
+// degradation under injected faults, checkpoint/resume equivalence, and
+// the witness-replay matrix (every engine counterexample must survive
+// the simulation audit on every OoO preset and both MC schemes).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "base/budget.h"
+#include "base/deadline.h"
+#include "base/faultpoint.h"
+#include "mc/portfolio.h"
+#include "mc/trace.h"
+#include "shadow/baseline_builder.h"
+#include "shadow/shadow_builder.h"
+#include "verif/journal.h"
+#include "verif/runner.h"
+
+namespace csl {
+namespace {
+
+using contract::Contract;
+using defense::Defense;
+using mc::Verdict;
+
+// --- FaultPoint -----------------------------------------------------------
+
+TEST(FaultPoint, UnarmedSiteNeverFires)
+{
+    fault::disarmAll();
+    EXPECT_FALSE(fault::shouldFire("budget.exhaust"));
+    EXPECT_FALSE(fault::shouldFire("no.such.site"));
+}
+
+TEST(FaultPoint, ArmedSiteFiresExactlyOnceAtItsHit)
+{
+    fault::disarmAll();
+    fault::arm("sat.alloc", 3);
+    EXPECT_FALSE(fault::shouldFire("sat.alloc")); // hit 1
+    EXPECT_FALSE(fault::shouldFire("sat.alloc")); // hit 2
+    EXPECT_TRUE(fault::shouldFire("sat.alloc"));  // hit 3: fires
+    EXPECT_TRUE(fault::fired("sat.alloc"));
+    EXPECT_FALSE(fault::shouldFire("sat.alloc")); // fire-once
+    fault::disarmAll();
+}
+
+TEST(FaultPoint, ScopedFaultDisarmsOnDestruction)
+{
+    fault::disarmAll();
+    {
+        fault::ScopedFault guard("journal.write");
+        EXPECT_TRUE(fault::shouldFire("journal.write"));
+    }
+    EXPECT_FALSE(fault::shouldFire("journal.write"));
+}
+
+TEST(FaultPoint, KnownSitesListsTheDocumentedMatrix)
+{
+    const auto &sites = fault::knownSites();
+    EXPECT_GE(sites.size(), 6u);
+    for (const char *site :
+         {"budget.exhaust", "sat.alloc", "sat.corrupt-model",
+          "houdini.interrupt", "journal.write", "runner.kill"})
+        EXPECT_NE(std::find(sites.begin(), sites.end(), site),
+                  sites.end())
+            << site;
+}
+
+// --- Deadline -------------------------------------------------------------
+
+TEST(Deadline, DefaultNeverExpiresButIsCancellable)
+{
+    Deadline d;
+    EXPECT_FALSE(d.expired());
+    EXPECT_GT(d.remaining(), 1e6);
+    d.cancel();
+    EXPECT_TRUE(d.expired());
+    EXPECT_TRUE(d.cancelled());
+    EXPECT_EQ(d.remaining(), 0.0);
+}
+
+TEST(Deadline, ExpiresAfterItsDuration)
+{
+    Deadline d = Deadline::in(0.0);
+    EXPECT_TRUE(d.expired());
+    Deadline later = Deadline::in(60.0);
+    EXPECT_FALSE(later.expired());
+    EXPECT_LE(later.remaining(), 60.0);
+    EXPECT_GT(later.remaining(), 50.0);
+}
+
+TEST(Deadline, SliceClipsToParentAndSharesCancellation)
+{
+    Deadline parent = Deadline::in(60.0);
+    Deadline slice = parent.slice(5.0);
+    EXPECT_LE(slice.remaining(), 5.0);
+    Deadline wide = parent.slice(600.0); // clipped to the parent
+    EXPECT_LE(wide.remaining(), 60.0);
+    parent.cancel();
+    EXPECT_TRUE(slice.expired());
+    EXPECT_TRUE(wide.expired());
+}
+
+// --- Budget ---------------------------------------------------------------
+
+TEST(Budget, LatchesOnceExhausted)
+{
+    Budget b(1e9, /*work_limit=*/10);
+    b.charge(11);
+    EXPECT_TRUE(b.exhausted());
+    EXPECT_EQ(b.cause(), Budget::Cause::Work);
+    // Still exhausted on every later query (latched).
+    EXPECT_TRUE(b.exhausted());
+}
+
+TEST(Budget, DeadlineCancellationExhaustsBudget)
+{
+    Deadline d = Deadline::in(60.0);
+    Budget b(1e9);
+    b.attachDeadline(d);
+    EXPECT_FALSE(b.exhausted());
+    d.cancel();
+    // The adaptive check interval may defer the wall-clock read for a
+    // bounded number of calls; drain it.
+    bool tripped = false;
+    for (int i = 0; i < 5000 && !tripped; ++i)
+        tripped = b.exhausted();
+    EXPECT_TRUE(tripped);
+    EXPECT_EQ(b.cause(), Budget::Cause::Deadline);
+}
+
+TEST(Budget, InjectedExhaustionReportsItsCause)
+{
+    fault::disarmAll();
+    fault::ScopedFault guard("budget.exhaust");
+    Budget b(1e9);
+    bool tripped = false;
+    for (int i = 0; i < 5000 && !tripped; ++i)
+        tripped = b.exhausted();
+    EXPECT_TRUE(tripped);
+    EXPECT_EQ(b.cause(), Budget::Cause::Injected);
+}
+
+// --- Journal --------------------------------------------------------------
+
+std::string
+tmpPath(const char *name)
+{
+    return testing::TempDir() + name;
+}
+
+TEST(Journal, RoundTripsAllFields)
+{
+    verif::Journal j;
+    j.fingerprint = "00c0ffee00c0ffee";
+    j.params["kind"] = "2";
+    j.params["timeout"] = "60.0";
+    j.bmcSafeDepth = 9;
+    j.provenInvariants = {"cand.a", "cand.b"};
+    j.provenValid = true;
+    j.prunedCandidates = {"cand.c"};
+    j.stages.push_back({"kinduction", "TIMEOUT", 9, 1.5});
+    j.finalVerdict = "TIMEOUT";
+
+    std::string path = tmpPath("journal_roundtrip.journal");
+    ASSERT_TRUE(j.save(path));
+    auto loaded = verif::Journal::load(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->fingerprint, j.fingerprint);
+    EXPECT_EQ(loaded->param("kind"), "2");
+    EXPECT_EQ(loaded->bmcSafeDepth, 9u);
+    EXPECT_TRUE(loaded->provenValid);
+    EXPECT_EQ(loaded->provenInvariants, j.provenInvariants);
+    EXPECT_EQ(loaded->prunedCandidates, j.prunedCandidates);
+    ASSERT_EQ(loaded->stages.size(), 1u);
+    EXPECT_EQ(loaded->stages[0].name, "kinduction");
+    EXPECT_EQ(loaded->stages[0].verdict, "TIMEOUT");
+    EXPECT_EQ(loaded->finalVerdict, "TIMEOUT");
+    std::remove(path.c_str());
+}
+
+TEST(Journal, SaveFailsUnderInjectedWriteFault)
+{
+    fault::disarmAll();
+    fault::ScopedFault guard("journal.write");
+    verif::Journal j;
+    EXPECT_FALSE(j.save(tmpPath("journal_fault.journal")));
+}
+
+TEST(Journal, LoadRejectsMissingAndMalformedFiles)
+{
+    EXPECT_FALSE(verif::Journal::load("/nonexistent/x.journal"));
+    std::string path = tmpPath("journal_bad.journal");
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("not a journal\n", f);
+        std::fclose(f);
+    }
+    EXPECT_FALSE(verif::Journal::load(path));
+    std::remove(path.c_str());
+}
+
+TEST(Journal, TaskParamsRoundTripThroughReconstruction)
+{
+    verif::VerificationTask task;
+    task.core = proc::rideLiteSpec(Defense::DelaySpectre);
+    task.contract = Contract::ConstantTime;
+    task.scheme = verif::Scheme::UpecLike;
+    task.maxDepth = 17;
+    task.timeoutSeconds = 42.0;
+    task.tryProof = false;
+    task.assumeSecretsDiffer = true;
+    task.excludeMisaligned = true;
+
+    auto restored =
+        verif::taskFromJournalParams(verif::journalParams(task));
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_EQ(restored->core.kind, task.core.kind);
+    EXPECT_EQ(restored->core.ooo.defense, task.core.ooo.defense);
+    EXPECT_EQ(restored->contract, task.contract);
+    EXPECT_EQ(restored->scheme, task.scheme);
+    EXPECT_EQ(restored->maxDepth, task.maxDepth);
+    EXPECT_DOUBLE_EQ(restored->timeoutSeconds, task.timeoutSeconds);
+    EXPECT_EQ(restored->tryProof, task.tryProof);
+    EXPECT_EQ(restored->assumeSecretsDiffer, task.assumeSecretsDiffer);
+    EXPECT_EQ(restored->excludeMisaligned, task.excludeMisaligned);
+}
+
+TEST(Journal, FingerprintSeparatesTasksAndMatchesRebuilds)
+{
+    auto build = [](Defense def) {
+        auto circuit = std::make_unique<rtl::Circuit>();
+        shadow::ShadowOptions sopts;
+        shadow::buildShadowCircuit(*circuit, proc::simpleOoOSpec(def),
+                                   sopts);
+        return verif::fingerprintCircuit(*circuit);
+    };
+    std::string a1 = build(Defense::None);
+    std::string a2 = build(Defense::None);
+    std::string b = build(Defense::DelayFuturistic);
+    EXPECT_EQ(a1, a2);
+    EXPECT_NE(a1, b);
+}
+
+// --- Runner degradation under injected faults -----------------------------
+
+verif::VerificationTask
+huntTask()
+{
+    verif::VerificationTask task;
+    task.core = proc::simpleOoOSpec(Defense::None);
+    task.contract = Contract::Sandboxing;
+    task.tryProof = false;
+    task.assumeSecretsDiffer = true;
+    task.maxDepth = 12;
+    task.timeoutSeconds = 300;
+    return task;
+}
+
+verif::VerificationTask
+proveTask()
+{
+    verif::VerificationTask task;
+    task.core = proc::inOrderSpec();
+    task.contract = Contract::Sandboxing;
+    task.maxDepth = 20;
+    task.timeoutSeconds = 60;
+    return task;
+}
+
+TEST(Runner, CorruptedModelIsQuarantinedAndRetriedToARealAttack)
+{
+    fault::disarmAll();
+    // The corruption site only triggers on a satisfiable solve, so the
+    // first firing opportunity is exactly the attack witness's model.
+    fault::ScopedFault guard("sat.corrupt-model");
+    verif::RunnerResult rr = verif::runResilientVerification(huntTask());
+    fault::disarmAll();
+    // The corrupted witness must never surface as the answer: either the
+    // audit caught it and a perturbed retry found a replayable attack,
+    // or the run degraded to a bounded verdict. A reported attack must
+    // carry the replay confirmation.
+    if (rr.result.verdict == Verdict::Attack) {
+        EXPECT_NE(rr.result.attackReport.find("confirmed in simulation"),
+                  std::string::npos);
+    } else {
+        EXPECT_EQ(rr.result.verdict, Verdict::BoundedSafe);
+        EXPECT_GT(rr.quarantinedWitnesses, 0u);
+    }
+}
+
+TEST(Runner, HoudiniInterruptionDegradesToHonestVerdict)
+{
+    fault::disarmAll();
+    fault::ScopedFault guard("houdini.interrupt");
+    auto task = proveTask();
+    task.timeoutSeconds = 6;
+    verif::RunnerResult rr = verif::runResilientVerification(task);
+    fault::disarmAll();
+    // Without invariants the in-order proof cannot close, but the run
+    // must end cleanly with a sound verdict, never an attack.
+    EXPECT_NE(rr.result.verdict, Verdict::Attack);
+    EXPECT_NE(rr.result.verdict, Verdict::Proof);
+    EXPECT_FALSE(rr.stages.empty());
+}
+
+TEST(Runner, SolverAllocFailureDegradesNotCrashes)
+{
+    fault::disarmAll();
+    fault::ScopedFault guard("sat.alloc");
+    auto task = proveTask();
+    task.timeoutSeconds = 6;
+    verif::RunnerResult rr = verif::runResilientVerification(task);
+    fault::disarmAll();
+    EXPECT_NE(rr.result.verdict, Verdict::Attack);
+}
+
+TEST(Runner, ProofStillClosesWhenJournalWritesFail)
+{
+    fault::disarmAll();
+    // Only the first write fails (fire-once); checkpointing is treated
+    // as best-effort either way.
+    fault::ScopedFault guard("journal.write");
+    auto task = proveTask();
+    verif::RunnerOptions ropts;
+    ropts.journalPath = tmpPath("runner_wf.journal");
+    verif::RunnerResult rr =
+        verif::runResilientVerification(task, ropts);
+    fault::disarmAll();
+    EXPECT_EQ(rr.result.verdict, Verdict::Proof);
+    std::remove(ropts.journalPath.c_str());
+}
+
+TEST(Runner, ResumeReachesTheSameVerdictAndReusesInvariants)
+{
+    fault::disarmAll();
+    std::string path = tmpPath("runner_resume.journal");
+    std::remove(path.c_str());
+
+    auto task = proveTask();
+    verif::RunnerOptions ropts;
+    ropts.journalPath = path;
+    verif::RunnerResult clean =
+        verif::runResilientVerification(task, ropts);
+    ASSERT_EQ(clean.result.verdict, Verdict::Proof);
+
+    // The journal now holds the completed run's facts; a resume must
+    // reach the same verdict, skipping the invariant search entirely.
+    ropts.resume = true;
+    verif::RunnerResult resumed =
+        verif::runResilientVerification(task, ropts);
+    EXPECT_EQ(resumed.result.verdict, Verdict::Proof);
+    EXPECT_TRUE(resumed.resumed);
+    for (const verif::StageOutcome &stage : resumed.stages)
+        EXPECT_EQ(stage.name.rfind("houdini", 0), std::string::npos)
+            << "resume must not re-run the invariant search";
+    std::remove(path.c_str());
+}
+
+TEST(Runner, ResumeIgnoresJournalOfADifferentTask)
+{
+    fault::disarmAll();
+    std::string path = tmpPath("runner_mismatch.journal");
+    std::remove(path.c_str());
+
+    auto task = proveTask();
+    verif::RunnerOptions ropts;
+    ropts.journalPath = path;
+    verif::RunnerResult first =
+        verif::runResilientVerification(task, ropts);
+    ASSERT_EQ(first.result.verdict, Verdict::Proof);
+
+    // Same journal, different circuit: the fingerprint guard must
+    // reject the stale facts and start fresh (not crash, not resume).
+    auto other = proveTask();
+    other.core = proc::simpleOoOSpec(Defense::DelayFuturistic);
+    other.timeoutSeconds = 120;
+    ropts.resume = true;
+    verif::RunnerResult fresh =
+        verif::runResilientVerification(other, ropts);
+    EXPECT_FALSE(fresh.resumed);
+    EXPECT_EQ(fresh.result.verdict, Verdict::Proof);
+    std::remove(path.c_str());
+}
+
+// --- Witness-replay matrix (satellite: every cex must replay) -------------
+
+struct ReplayCase
+{
+    const char *name;
+    proc::CoreSpec core;
+    verif::Scheme scheme;
+};
+
+class ReplayMatrix : public testing::TestWithParam<ReplayCase>
+{
+};
+
+TEST_P(ReplayMatrix, CounterexampleReplaysAtReportedFrame)
+{
+    const ReplayCase &rc = GetParam();
+    rtl::Circuit circuit;
+    if (rc.scheme == verif::Scheme::Baseline) {
+        shadow::buildBaselineCircuit(circuit, rc.core,
+                                     Contract::Sandboxing,
+                                     /*assume_secrets_differ=*/true);
+    } else {
+        shadow::ShadowOptions sopts;
+        sopts.assumeSecretsDiffer = true;
+        shadow::buildShadowCircuit(circuit, rc.core, sopts);
+    }
+
+    mc::CheckOptions copts;
+    copts.tryProof = false;
+    copts.maxDepth = 12;
+    copts.timeoutSeconds = 300;
+    mc::CheckResult cres = mc::checkProperty(circuit, copts);
+    ASSERT_EQ(cres.verdict, Verdict::Attack) << rc.name;
+    ASSERT_TRUE(cres.trace.has_value());
+    ASSERT_EQ(cres.trace->length, cres.depth + 1)
+        << "trace must end at the reported frame";
+
+    mc::ReplayResult replay = mc::replayTrace(circuit, *cres.trace);
+    EXPECT_TRUE(replay.initConstraintsHeld) << rc.name;
+    EXPECT_TRUE(replay.constraintsHeld) << rc.name;
+    EXPECT_TRUE(replay.badReached) << rc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, ReplayMatrix,
+    testing::Values(
+        ReplayCase{"SimpleOoO_Shadow", proc::simpleOoOSpec(Defense::None),
+                   verif::Scheme::ContractShadow},
+        ReplayCase{"SimpleOoO_Baseline",
+                   proc::simpleOoOSpec(Defense::None),
+                   verif::Scheme::Baseline},
+        ReplayCase{"RideLite_Shadow", proc::rideLiteSpec(Defense::None),
+                   verif::Scheme::ContractShadow},
+        ReplayCase{"RideLite_Baseline", proc::rideLiteSpec(Defense::None),
+                   verif::Scheme::Baseline},
+        ReplayCase{"BoomLike_Shadow", proc::boomLikeSpec(Defense::None),
+                   verif::Scheme::ContractShadow},
+        ReplayCase{"BoomLike_Baseline", proc::boomLikeSpec(Defense::None),
+                   verif::Scheme::Baseline}),
+    [](const testing::TestParamInfo<ReplayCase> &info) {
+        return info.param.name;
+    });
+
+} // namespace
+} // namespace csl

@@ -16,3 +16,10 @@ cmake -B "$build" -S "$repo" \
     -DCSL_SANITIZE=address,undefined
 cmake --build "$build" -j "$jobs"
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+# The fault-injection matrix exercises the runtime's recovery paths
+# (degraded solver, interrupted Houdini, SIGKILL + resume); run it under
+# the sanitizers explicitly so those paths stay memory-clean too. It is
+# also a ctest entry, but a direct run keeps its output visible and
+# fails loudly on its own exit code.
+"$build/bench/resilience_smoke"

@@ -15,12 +15,14 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "rtl/analysis/analysis.h"
 #include "rtl/btor2.h"
 #include "shadow/baseline_builder.h"
 #include "shadow/shadow_builder.h"
+#include "verif/runner.h"
 #include "verif/task.h"
 
 namespace {
@@ -63,9 +65,23 @@ static analysis:
                        and print the full diagnostic report; no SAT
   --no-preflight       skip the pre-flight lint gate before engine runs
 
+resilience:
+  --journal <file>     checkpoint run state (safe bound, invariants,
+                       stage outcomes) to <file> at stage boundaries
+  --resume <file>      resume a killed run from its journal; the task is
+                       reconstructed from the journal, other target
+                       flags are ignored
+  --seed <n>           base SAT decision seed (0 = deterministic)
+  --retries <n>        seed-perturbed re-solves after a failed witness
+                       audit (default 2)
+
 other:
+  --json                 machine-readable result on stdout
   --export-btor2 <file>  write the verification circuit as BTOR2 and exit
   --help                 this message
+
+exit codes: 0 proof, 2 usage error, 3 diagnosed (lint gate), 4 bounded-
+safe, 5 timeout, 10 attack
 )");
 }
 
@@ -75,16 +91,89 @@ match(const char *arg, const char *flag)
     return std::strcmp(arg, flag) == 0;
 }
 
+/** Per-verdict exit code (documented in usage()). */
+int
+exitCode(mc::Verdict verdict)
+{
+    switch (verdict) {
+      case mc::Verdict::Proof: return 0;
+      case mc::Verdict::Diagnosed: return 3;
+      case mc::Verdict::BoundedSafe: return 4;
+      case mc::Verdict::Timeout: return 5;
+      case mc::Verdict::Attack: return 10;
+    }
+    return 1;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+resultJson(const verif::VerificationResult &result,
+           const verif::RunnerResult *runner)
+{
+    std::ostringstream oss;
+    oss << "{\"verdict\":\"" << mc::verdictName(result.verdict) << "\""
+        << ",\"seconds\":" << result.seconds
+        << ",\"depth\":" << result.depth
+        << ",\"conflicts\":" << result.conflicts
+        << ",\"detail\":\"" << jsonEscape(result.detail) << "\""
+        << ",\"attackReport\":\"" << jsonEscape(result.attackReport)
+        << "\"";
+    if (runner) {
+        oss << ",\"deepestSafeBound\":" << runner->deepestSafeBound
+            << ",\"quarantinedWitnesses\":" << runner->quarantinedWitnesses
+            << ",\"auditRetries\":" << runner->auditRetries
+            << ",\"resumed\":" << (runner->resumed ? "true" : "false")
+            << ",\"stages\":[";
+        for (size_t i = 0; i < runner->stages.size(); ++i) {
+            const verif::StageOutcome &stage = runner->stages[i];
+            oss << (i ? "," : "") << "{\"name\":\""
+                << jsonEscape(stage.name) << "\",\"verdict\":\""
+                << mc::verdictName(stage.verdict)
+                << "\",\"depth\":" << stage.depth
+                << ",\"seconds\":" << stage.seconds << "}";
+        }
+        oss << "]";
+    }
+    oss << "}";
+    return oss.str();
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     verif::VerificationTask task;
+    verif::RunnerOptions ropts;
     std::string core = "simpleooo";
     std::string defense_name = "none";
     std::string btor2_path;
+    std::string resume_path;
     bool lint_only = false;
+    bool json = false;
     int rob = -1, regs = -1, dmem = -1, imem = -1;
 
     for (int i = 1; i < argc; ++i) {
@@ -147,6 +236,16 @@ main(int argc, char **argv)
             lint_only = true;
         } else if (match(argv[i], "--no-preflight")) {
             task.preflight = false;
+        } else if (match(argv[i], "--journal")) {
+            ropts.journalPath = value();
+        } else if (match(argv[i], "--resume")) {
+            resume_path = value();
+        } else if (match(argv[i], "--seed")) {
+            ropts.decisionSeed = std::strtoull(value(), nullptr, 0);
+        } else if (match(argv[i], "--retries")) {
+            ropts.maxAuditRetries = size_t(std::atoi(value()));
+        } else if (match(argv[i], "--json")) {
+            json = true;
         } else if (match(argv[i], "--export-btor2")) {
             btor2_path = value();
         } else {
@@ -253,15 +352,64 @@ main(int argc, char **argv)
         return 0;
     }
 
-    std::printf("core=%s defense=%s contract=%s scheme=%s depth=%zu "
-                "budget=%.0fs\n",
-                core.c_str(), defense::defenseName(def),
-                contract::contractName(task.contract),
-                verif::schemeName(task.scheme), task.maxDepth,
-                task.timeoutSeconds);
-    verif::VerificationResult result = verif::runVerification(task);
-    std::printf("%s\n", verif::formatResult(result).c_str());
-    if (!result.attackReport.empty())
-        std::printf("%s", result.attackReport.c_str());
-    return result.verdict == mc::Verdict::Attack ? 10 : 0;
+    // --resume reconstructs the task from the journal's own params, so
+    // a resumed run needs no memory of the original command line.
+    if (!resume_path.empty()) {
+        auto journal = verif::Journal::load(resume_path);
+        if (!journal) {
+            std::fprintf(stderr, "cannot load journal %s\n",
+                         resume_path.c_str());
+            return 2;
+        }
+        auto restored = verif::taskFromJournalParams(journal->params);
+        if (!restored) {
+            std::fprintf(stderr,
+                         "journal %s has no usable task params\n",
+                         resume_path.c_str());
+            return 2;
+        }
+        task = *restored;
+        if (ropts.journalPath.empty())
+            ropts.journalPath = resume_path;
+        ropts.resume = true;
+    }
+
+    const bool staged = task.scheme == verif::Scheme::ContractShadow ||
+                        task.scheme == verif::Scheme::Baseline ||
+                        task.scheme == verif::Scheme::UpecLike;
+    if (!json)
+        std::printf("core=%s defense=%s contract=%s scheme=%s depth=%zu "
+                    "budget=%.0fs%s\n",
+                    proc::coreKindName(task.core.kind),
+                    defense::defenseName(task.core.ooo.defense),
+                    contract::contractName(task.contract),
+                    verif::schemeName(task.scheme), task.maxDepth,
+                    task.timeoutSeconds,
+                    ropts.resume ? " (resumed)" : "");
+
+    verif::VerificationResult result;
+    std::optional<verif::RunnerResult> runner;
+    if (staged) {
+        runner = verif::runResilientVerification(task, ropts);
+        result = runner->result;
+    } else {
+        result = verif::runVerification(task);
+    }
+
+    if (json) {
+        std::printf("%s\n",
+                    resultJson(result, runner ? &*runner : nullptr)
+                        .c_str());
+    } else {
+        std::printf("%s\n", verif::formatResult(result).c_str());
+        if (runner)
+            for (const verif::StageOutcome &stage : runner->stages)
+                std::printf("  stage %-24s %-12s depth=%zu %.2fs\n",
+                            stage.name.c_str(),
+                            mc::verdictName(stage.verdict), stage.depth,
+                            stage.seconds);
+        if (!result.attackReport.empty())
+            std::printf("%s", result.attackReport.c_str());
+    }
+    return exitCode(result.verdict);
 }
