@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Sequential-vs-portfolio wall clock on the Table-2 ContractShadow
+ * matrix: each cell is solved by every single engine alone ({bmc},
+ * {kind}, {pdr}) and then by the concurrent first-winner portfolio
+ * {bmc,kind,pdr}. Emits BENCH_portfolio.json with the per-cell numbers;
+ * the claim under test is that the portfolio's wall clock tracks the
+ * best single engine (plus scheduling overhead) without knowing in
+ * advance which engine wins - the whole point of racing them.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "mc/engine.h"
+#include "verif/runner.h"
+#include "verif/task.h"
+
+using namespace csl;
+
+namespace {
+
+struct Cell
+{
+    const char *name;
+    proc::CoreSpec spec;
+    bool secure;
+};
+
+struct EngineCell
+{
+    std::string set;
+    std::string verdict;
+    double seconds = 0;
+};
+
+struct CellReport
+{
+    std::string name;
+    std::vector<EngineCell> singles;
+    EngineCell portfolio;
+    std::string winner;
+    uint64_t importedFacts = 0;
+    double bestSingleSeconds = -1; ///< fastest agreeing single engine
+};
+
+verif::VerificationTask
+cellTask(const Cell &cell, double budget)
+{
+    verif::VerificationTask task;
+    task.core = cell.spec;
+    task.contract = contract::Contract::Sandboxing;
+    task.scheme = verif::Scheme::ContractShadow;
+    task.timeoutSeconds = budget;
+    if (cell.secure) {
+        task.maxDepth = 24;
+        task.tryProof = true;
+    } else {
+        task.maxDepth = 12;
+        task.tryProof = false;
+        task.assumeSecretsDiffer = true;
+    }
+    return task;
+}
+
+EngineCell
+runWith(const verif::VerificationTask &task,
+        const std::vector<mc::EngineKind> &engines, verif::RunnerResult *out)
+{
+    verif::RunnerOptions ropts;
+    ropts.engines = engines;
+    verif::RunnerResult rr = verif::runResilientVerification(task, ropts);
+    EngineCell ec;
+    ec.set = mc::engineListName(engines);
+    ec.verdict = mc::verdictName(rr.result.verdict);
+    ec.seconds = rr.result.seconds;
+    if (out)
+        *out = std::move(rr);
+    return ec;
+}
+
+std::string
+toJson(const std::vector<CellReport> &cells, double budget)
+{
+    std::ostringstream oss;
+    // The CPU count contextualizes the overhead column: with fewer cores
+    // than engines the race time-slices, so a losing engine steals up to
+    // its whole share of the clock from the winner; with >= one core per
+    // engine the portfolio tracks the best single engine.
+    oss << "{\"budgetSeconds\":" << budget
+        << ",\"cpus\":" << std::thread::hardware_concurrency()
+        << ",\"cells\":[";
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const CellReport &c = cells[i];
+        oss << (i ? "," : "") << "{\"name\":\"" << c.name << "\""
+            << ",\"engines\":[";
+        for (size_t j = 0; j < c.singles.size(); ++j)
+            oss << (j ? "," : "") << "{\"set\":\"" << c.singles[j].set
+                << "\",\"verdict\":\"" << c.singles[j].verdict
+                << "\",\"seconds\":" << c.singles[j].seconds << "}";
+        oss << "],\"portfolio\":{\"set\":\"" << c.portfolio.set
+            << "\",\"verdict\":\"" << c.portfolio.verdict
+            << "\",\"seconds\":" << c.portfolio.seconds << ",\"winner\":\""
+            << c.winner << "\",\"importedFacts\":" << c.importedFacts
+            << "},\"bestSingleSeconds\":" << c.bestSingleSeconds
+            << ",\"portfolioSeconds\":" << c.portfolio.seconds << "}";
+    }
+    oss << "]}";
+    return oss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double budget = bench::budgetSeconds(argc, argv, 120.0);
+    std::printf("Portfolio bench: sequential engines vs concurrent "
+                "first-winner portfolio (budget %.0fs per run)\n",
+                budget);
+
+    std::vector<Cell> cells = {
+        {"Sodor (InOrder, secure)", proc::inOrderSpec(), true},
+        {"SimpleOoO-S (DelaySpectre, secure)",
+         proc::simpleOoOSpec(defense::Defense::DelaySpectre), true},
+        {"SimpleOoO (insecure)",
+         proc::simpleOoOSpec(defense::Defense::None), false},
+        {"RideLite (insecure)",
+         proc::rideLiteSpec(defense::Defense::None), false},
+    };
+
+    const std::vector<std::vector<mc::EngineKind>> singles = {
+        {mc::EngineKind::Bmc},
+        {mc::EngineKind::KInduction},
+        {mc::EngineKind::Pdr},
+    };
+    const std::vector<mc::EngineKind> full = {mc::EngineKind::Bmc,
+                                              mc::EngineKind::KInduction,
+                                              mc::EngineKind::Pdr};
+
+    std::vector<CellReport> reports;
+    for (const Cell &cell : cells) {
+        bench::banner(cell.name);
+        verif::VerificationTask task = cellTask(cell, budget);
+        CellReport report;
+        report.name = cell.name;
+        for (const auto &engines : singles) {
+            EngineCell ec = runWith(task, engines, nullptr);
+            char line[128];
+            std::snprintf(line, sizeof(line), "%s in %.2fs",
+                          ec.verdict.c_str(), ec.seconds);
+            bench::row("  " + ec.set, line);
+            report.singles.push_back(std::move(ec));
+        }
+        verif::RunnerResult rr;
+        report.portfolio = runWith(task, full, &rr);
+        report.winner = rr.winningEngine;
+        report.importedFacts = rr.importedFacts;
+        for (const EngineCell &ec : report.singles)
+            if (ec.verdict == report.portfolio.verdict &&
+                (report.bestSingleSeconds < 0 ||
+                 ec.seconds < report.bestSingleSeconds))
+                report.bestSingleSeconds = ec.seconds;
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "%s in %.2fs (winner %s, best single %.2fs, %llu "
+                      "fact(s) shared)",
+                      report.portfolio.verdict.c_str(),
+                      report.portfolio.seconds,
+                      report.winner.empty() ? "-" : report.winner.c_str(),
+                      report.bestSingleSeconds,
+                      static_cast<unsigned long long>(report.importedFacts));
+        bench::row("  portfolio", line);
+        reports.push_back(std::move(report));
+    }
+
+    const char *out_path = "BENCH_portfolio.json";
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path);
+        return 1;
+    }
+    out << toJson(reports, budget) << "\n";
+    std::printf("\nwrote %s\n", out_path);
+    return 0;
+}

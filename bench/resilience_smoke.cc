@@ -55,6 +55,20 @@ proveTask()
     return task;
 }
 
+/** The smoke's subject is fault recovery, not engine breadth: pin the
+ * pre-portfolio engine pair so every stage races two engines at most.
+ * The default three-engine proof set time-slices on single-core CI
+ * hosts (PDR never wins these cells) and under ASan that pushed the
+ * matrix past any reasonable ctest timeout. Portfolio coverage lives in
+ * portfolio_smoke and tests/portfolio_test. */
+verif::RunnerOptions
+smokeOptions()
+{
+    verif::RunnerOptions ropts;
+    ropts.engines = {mc::EngineKind::Bmc, mc::EngineKind::KInduction};
+    return ropts;
+}
+
 int failures = 0;
 
 void
@@ -90,12 +104,13 @@ runFaultMatrix()
         {
             fault::ScopedFault guard(site);
             checkCleanVerdict(site.c_str(), "hunt",
-                              verif::runResilientVerification(huntTask()));
+                              verif::runResilientVerification(
+                                  huntTask(), smokeOptions()));
         }
         {
             fault::ScopedFault guard(site);
-            verif::RunnerResult rr =
-                verif::runResilientVerification(proveTask());
+            verif::RunnerResult rr = verif::runResilientVerification(
+                proveTask(), smokeOptions());
             checkCleanVerdict(site.c_str(), "prove", rr);
             // A degraded proof run must never claim an attack on the
             // secure core.
@@ -117,7 +132,7 @@ runKillResume()
     auto task = proveTask();
     task.timeoutSeconds = 120; // enough for the uninterrupted proof
 
-    verif::RunnerOptions ropts;
+    verif::RunnerOptions ropts = smokeOptions();
     verif::RunnerResult reference =
         verif::runResilientVerification(task, ropts);
     check(reference.result.verdict == Verdict::Proof,
@@ -127,7 +142,7 @@ runKillResume()
     if (pid == 0) {
         // Child: die by SIGKILL right after the first checkpoint.
         fault::arm("runner.kill");
-        verif::RunnerOptions copts;
+        verif::RunnerOptions copts = smokeOptions();
         copts.journalPath = journal;
         verif::runResilientVerification(task, copts);
         _exit(42); // fault did not fire: flagged by the parent
@@ -139,7 +154,7 @@ runKillResume()
     check(verif::Journal::load(journal).has_value(),
           "checkpoint journal survives the kill");
 
-    verif::RunnerOptions resume_opts;
+    verif::RunnerOptions resume_opts = smokeOptions();
     resume_opts.journalPath = journal;
     resume_opts.resume = true;
     verif::RunnerResult resumed =

@@ -111,7 +111,8 @@ runLeave(const proc::CoreSpec &spec, const LeaveOptions &options)
 
     std::vector<NetId> pruning_front;
     auto survivors = mc::proveInductiveInvariants(
-        lc.circuit, lc.candidates, &budget, /*window=*/1, &pruning_front);
+        lc.circuit, lc.candidates, &budget, /*window=*/1, &pruning_front,
+        options.houdiniThreads);
     if (!survivors) {
         result.kind = LeaveResult::Kind::Timeout;
         result.pruningFront = pruning_front.size();

@@ -55,6 +55,14 @@ struct LeaveOptions
     size_t proofDepth = 1;
     /** Optional cooperative deadline/cancellation (staged runs). */
     std::optional<Deadline> deadline;
+    /**
+     * Worker threads for the Houdini candidate-pruning phase. Each
+     * shard prunes a slice of the candidate family over its own circuit
+     * clone and publishes survivors to a shared mc::FactBoard; >1 speeds
+     * up the initial prune without changing the surviving set (the
+     * joint fixpoint afterwards is order-independent).
+     */
+    size_t houdiniThreads = 1;
 };
 
 /** Run the LEAVE-style scheme on @p spec. */

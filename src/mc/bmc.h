@@ -63,6 +63,14 @@ class Bmc
      */
     void markSafeUpTo(size_t depth);
 
+    /**
+     * Thread-safe: interrupt an in-flight run() from another thread (the
+     * portfolio's first-winner cancellation). run() returns Timeout; the
+     * request is latched until clearInterrupt().
+     */
+    void requestInterrupt() { solver_.requestInterrupt(); }
+    void clearInterrupt() { solver_.clearInterrupt(); }
+
   private:
     const rtl::Circuit &circuit_;
     sat::Solver solver_;

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The uniform model-checking engine abstraction behind the portfolio
+ * facade (DESIGN.md "Engine layer").
+ *
+ * Every backend - BMC, k-induction, PDR, exhaustive enumeration - is
+ * wrapped as an `Engine` with the same life cycle:
+ *
+ *     engine->start(&board, &budget);   // bind shared facts + budget
+ *     while (!engine->step()) { }       // bounded units of work
+ *     EngineResult r = engine->takeResult();
+ *
+ * step() performs one engine-specific unit (a BMC frame, one induction
+ * depth, one PDR major round) and returns true once the engine has
+ * concluded. cancel() is thread-safe and asynchronous: it interrupts the
+ * engine's SAT solvers mid-solve (sat::Solver::requestInterrupt) so a
+ * portfolio sibling can stop a losing engine the moment a conclusive
+ * verdict exists.
+ *
+ * The FactBoard is the mutex-guarded exchange for *monotone* facts:
+ * bad-free depth bounds and proven invariants only ever grow, so an
+ * engine may import them at any point without unsoundness - a stale read
+ * is merely less helpful, never wrong.
+ */
+
+#ifndef CSL_MC_ENGINE_H_
+#define CSL_MC_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/budget.h"
+#include "mc/trace.h"
+#include "rtl/circuit.h"
+
+namespace csl::mc {
+
+/** Final verdict of a verification task. */
+enum class Verdict {
+    Attack,      ///< counterexample found (a real attack program)
+    Proof,       ///< unbounded proof completed
+    BoundedSafe, ///< no attack up to maxDepth, no proof attempted/found
+    Timeout,     ///< budget exhausted without an answer
+    Diagnosed,   ///< static pre-flight found the circuit ill-formed;
+                 ///< no engine was run (details in the lint report)
+};
+
+/** Render a verdict for tables. */
+const char *verdictName(Verdict verdict);
+
+/** The available model-checking backends. */
+enum class EngineKind {
+    Bmc,        ///< incremental bounded model checking (attack hunting)
+    KInduction, ///< k-induction with strengthening invariants
+    Pdr,        ///< property-directed reachability (IC3)
+    Exhaustive, ///< explicit-state BFS oracle (tiny circuits only)
+};
+
+/** Short stable name: "bmc", "kind", "pdr", "exh". */
+const char *engineKindName(EngineKind kind);
+
+/** Parse one engine name (accepts the aliases "kinduction",
+ * "k-induction" and "exhaustive"). */
+std::optional<EngineKind> parseEngineKind(const std::string &name);
+
+/** Parse a comma-separated engine list, e.g. "bmc,kind,pdr".
+ * Duplicates collapse; "" parses to the empty list (= defaults).
+ * Returns std::nullopt when any element is empty or unknown. */
+std::optional<std::vector<EngineKind>>
+parseEngineList(const std::string &csv);
+
+/** Render an engine set back to its comma-separated form. */
+std::string engineListName(const std::vector<EngineKind> &kinds);
+
+/**
+ * Mutex-guarded exchange of monotone facts between concurrently running
+ * engines. Both fact families only ever grow:
+ *  - the safe bound is a max (frames 0..bound-1 proven bad-free),
+ *  - the invariant set is a union of nets proven to hold in every
+ *    reachable state.
+ * Monotonicity is what makes mid-run sharing sound under any thread
+ * interleaving: importing an old snapshot can never inject a fact that
+ * later turns false.
+ */
+class FactBoard
+{
+  public:
+    /** Record that frames 0..depth-1 are bad-free. Keeps the max. */
+    void publishSafeBound(size_t depth);
+
+    /** Deepest published bad-free bound. */
+    size_t safeBound() const;
+
+    /** Union @p invariants into the proven set. */
+    void publishInvariants(const std::vector<rtl::NetId> &invariants);
+
+    /** Snapshot of the proven invariants, sorted (deterministic). */
+    std::vector<rtl::NetId> invariants() const;
+
+    /** Count a fact import by some engine (telemetry). */
+    void countImport();
+
+    /** Total facts imported across all engines. */
+    uint64_t imports() const;
+
+  private:
+    mutable std::mutex mutex_;
+    size_t safeBound_ = 0;
+    std::vector<rtl::NetId> invariants_; ///< sorted, unique
+    std::atomic<uint64_t> imports_{0};
+};
+
+/** Per-engine configuration (the engine-agnostic subset of
+ * CheckOptions; time limits live in the Budget passed to start()). */
+struct EngineConfig
+{
+    /** Maximum BMC depth / induction k. */
+    size_t maxDepth = 40;
+    /** Trusted strengthening invariants (Houdini survivors). */
+    std::vector<rtl::NetId> assumedInvariants;
+    /** Non-zero: perturb the SAT decision heuristics. */
+    uint64_t decisionSeed = 0;
+    /** Frames a previous run of this circuit proved bad-free. */
+    size_t startSafeDepth = 0;
+    /** Explicit-state budget for the exhaustive engine. */
+    size_t maxStates = 1 << 20;
+};
+
+/** What an engine concluded, plus its salvageable partial answers. */
+struct EngineResult
+{
+    Verdict verdict = Verdict::Timeout;
+    /** Attack: cex frame. Proof: inductive depth / closing frame. */
+    size_t depth = 0;
+    std::optional<Trace> trace;
+    uint64_t conflicts = 0;
+    /** Deepest bound this engine knows to be bad-free. */
+    size_t deepestSafeBound = 0;
+    /** Invariants this engine proved (none of the current backends
+     * discover exportable ones yet; surface reserved by the contract). */
+    std::vector<rtl::NetId> provenInvariants;
+    /** Facts this engine imported from the FactBoard. */
+    uint64_t importedFacts = 0;
+
+    /** Attack and Proof decide the property; the rest are partial. */
+    bool conclusive() const
+    {
+        return verdict == Verdict::Attack || verdict == Verdict::Proof;
+    }
+};
+
+/**
+ * A model-checking backend behind the uniform contract described in the
+ * file comment. Engines are single-owner: start()/step()/takeResult()
+ * belong to one driving thread; only cancel() may be called from
+ * another thread.
+ */
+class Engine
+{
+  public:
+    virtual ~Engine();
+
+    virtual EngineKind kind() const = 0;
+
+    /** Short name for reports ("bmc", "kind", ...). */
+    const char *name() const { return engineKindName(kind()); }
+
+    /**
+     * Bind the shared fact board (may be null) and the budget charged by
+     * this engine's solvers. Must be called once, before step().
+     */
+    virtual void start(FactBoard *board, Budget *budget) = 0;
+
+    /**
+     * One bounded unit of work. Returns true when the engine has
+     * concluded (verdict available via takeResult()); false to continue.
+     * Engines import/publish FactBoard facts between units.
+     */
+    virtual bool step() = 0;
+
+    /**
+     * Thread-safe asynchronous cancellation: interrupt the engine's
+     * solvers; the engine concludes with Timeout at the next step()
+     * boundary. Partial facts (safe bounds) remain valid.
+     */
+    virtual void cancel() = 0;
+
+    /** The conclusion; valid once step() returned true. */
+    virtual EngineResult takeResult() = 0;
+};
+
+/** Construct a backend over @p circuit. The circuit must stay alive and
+ * unchanged for the engine's lifetime. */
+std::unique_ptr<Engine> makeEngine(EngineKind kind,
+                                   const rtl::Circuit &circuit,
+                                   EngineConfig config = {});
+
+} // namespace csl::mc
+
+#endif // CSL_MC_ENGINE_H_

@@ -60,10 +60,16 @@ struct StatePacker
 } // namespace
 
 ExhaustiveResult
-exhaustiveCheck(const rtl::Circuit &circuit, size_t max_states)
+exhaustiveCheck(const rtl::Circuit &circuit, size_t max_states,
+                Budget *budget, const std::atomic<bool> *stop)
 {
     ExhaustiveResult result;
     StatePacker packer(circuit);
+    auto cancelled = [&] {
+        if (stop && stop->load(std::memory_order_relaxed))
+            return true;
+        return budget && budget->exhausted();
+    };
 
     int symbolic_bits = 0;
     std::vector<NetId> symbolic;
@@ -88,6 +94,10 @@ exhaustiveCheck(const rtl::Circuit &circuit, size_t max_states)
     std::unordered_map<uint64_t, size_t> depth_of; // state -> min depth
     std::deque<uint64_t> queue;
     for (uint64_t assign = 0; assign < (1ull << symbolic_bits); ++assign) {
+        if (budget)
+            budget->charge(1);
+        if (cancelled())
+            return result; // completed stays false
         std::unordered_map<NetId, uint64_t> init;
         uint64_t rest = assign;
         for (NetId reg : symbolic) {
@@ -109,7 +119,21 @@ exhaustiveCheck(const rtl::Circuit &circuit, size_t max_states)
             queue.push_back(key);
     }
 
-    // BFS over (state, input) successors.
+    auto decode_inputs = [&](uint64_t in_assign) {
+        std::unordered_map<NetId, uint64_t> inputs;
+        for (NetId in : circuit.inputs()) {
+            int width = circuit.net(in).width;
+            inputs[in] = in_assign & maskBits(width);
+            in_assign >>= width;
+        }
+        return inputs;
+    };
+
+    // BFS over (state, input) successors. pred records, for each state,
+    // the state+input edge that first discovered it (BFS order makes
+    // that a minimal-depth path) so a witness trace can be rebuilt.
+    std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> pred;
+    uint64_t bad_key = 0, bad_assign = 0;
     while (!queue.empty()) {
         uint64_t key = queue.front();
         queue.pop_front();
@@ -117,17 +141,16 @@ exhaustiveCheck(const rtl::Circuit &circuit, size_t max_states)
         ++result.statesVisited;
         if (result.statesVisited > max_states)
             return result; // completed stays false
+        if (budget)
+            budget->charge(1);
+        if (cancelled())
+            return result;
 
         for (uint64_t in_assign = 0; in_assign < (1ull << input_bits);
              ++in_assign) {
             simulator.reset(packer.unpack(key));
-            std::unordered_map<NetId, uint64_t> inputs;
-            uint64_t rest = in_assign;
-            for (NetId in : circuit.inputs()) {
-                int width = circuit.net(in).width;
-                inputs[in] = rest & maskBits(width);
-                rest >>= width;
-            }
+            std::unordered_map<NetId, uint64_t> inputs =
+                decode_inputs(in_assign);
             simulator.evaluate(inputs);
             if (!simulator.constraintsHold())
                 continue; // assumption prunes this edge
@@ -135,6 +158,8 @@ exhaustiveCheck(const rtl::Circuit &circuit, size_t max_states)
                 if (!result.badReachable || depth < result.badDepth) {
                     result.badReachable = true;
                     result.badDepth = depth;
+                    bad_key = key;
+                    bad_assign = in_assign;
                 }
                 continue; // count the failure; path ends at the bad
             }
@@ -144,11 +169,32 @@ exhaustiveCheck(const rtl::Circuit &circuit, size_t max_states)
             for (NetId reg : circuit.registers())
                 full[reg] = simulator.value(reg);
             uint64_t next_key = packer.pack(full);
-            if (depth_of.emplace(next_key, depth + 1).second)
+            if (depth_of.emplace(next_key, depth + 1).second) {
+                pred.emplace(next_key, std::make_pair(key, in_assign));
                 queue.push_back(next_key);
+            }
         }
     }
     result.completed = true;
+
+    if (result.badReachable) {
+        // Walk the discovery edges back to an initial state, then emit
+        // the inputs forward, ending with the bad-firing assignment.
+        std::vector<uint64_t> chain;
+        uint64_t cur = bad_key;
+        for (auto it = pred.find(cur); it != pred.end();
+             it = pred.find(cur)) {
+            chain.push_back(it->second.second);
+            cur = it->second.first;
+        }
+        Trace trace;
+        trace.initialRegs = packer.unpack(cur);
+        for (size_t i = chain.size(); i-- > 0;)
+            trace.inputs.push_back(decode_inputs(chain[i]));
+        trace.inputs.push_back(decode_inputs(bad_assign));
+        trace.length = trace.inputs.size();
+        result.trace = std::move(trace);
+    }
     return result;
 }
 

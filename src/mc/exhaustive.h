@@ -14,9 +14,12 @@
 #ifndef CSL_MC_EXHAUSTIVE_H_
 #define CSL_MC_EXHAUSTIVE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
+#include "base/budget.h"
+#include "mc/trace.h"
 #include "rtl/circuit.h"
 
 namespace csl::mc {
@@ -29,15 +32,23 @@ struct ExhaustiveResult
     /** Earliest cycle at which a bad fires (when badReachable). */
     size_t badDepth = 0;
     size_t statesVisited = 0;
+    /** A minimal-depth witness path (when badReachable). */
+    std::optional<Trace> trace;
 };
 
 /**
  * Explore @p circuit exhaustively. Gives up (completed=false) once more
  * than @p max_states distinct states have been expanded or the total
  * symbolic bit-width exceeds practical limits (~20 bits).
+ *
+ * @p budget is charged one unit per expanded state; its exhaustion - or
+ * @p stop turning true (the portfolio's thread-safe cancellation) -
+ * abandons the exploration with completed=false.
  */
 ExhaustiveResult exhaustiveCheck(const rtl::Circuit &circuit,
-                                 size_t max_states = 1 << 20);
+                                 size_t max_states = 1 << 20,
+                                 Budget *budget = nullptr,
+                                 const std::atomic<bool> *stop = nullptr);
 
 } // namespace csl::mc
 

@@ -1,10 +1,14 @@
 #include "mc/kinduction.h"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
+#include <thread>
 #include <unordered_map>
 
 #include "base/faultpoint.h"
 #include "base/logging.h"
+#include "mc/engine.h"
 
 namespace csl::mc {
 
@@ -26,69 +30,149 @@ KInduction::KInduction(const rtl::Circuit &circuit, KInductionOptions options)
 
 KInduction::~KInduction() = default;
 
+void
+KInduction::requestInterrupt()
+{
+    base_.requestInterrupt();
+    stepSolver_.requestInterrupt();
+}
+
+void
+KInduction::clearInterrupt()
+{
+    base_.clearInterrupt();
+    stepSolver_.clearInterrupt();
+}
+
+bool
+KInduction::step(Budget *budget)
+{
+    if (k_ > options_.maxK) {
+        result_.kind = KInductionResult::Kind::Unknown;
+        result_.k = options_.maxK;
+        result_.baseSafe = base_.checkedUpTo();
+        return true;
+    }
+    const size_t k = k_;
+
+    // Base case: frames 0..k-1 must be bad-free from the real initial
+    // state. Bounds imported via importBaseSafe() are skipped here.
+    BmcResult base = base_.run(k, budget);
+    result_.conflicts = base.conflicts + stepSolver_.stats().conflicts;
+    result_.baseSafe = base_.checkedUpTo();
+    if (base.kind == BmcResult::Kind::Cex) {
+        result_.kind = KInductionResult::Kind::Cex;
+        result_.k = base.depth;
+        result_.trace = std::move(base.trace);
+        return true;
+    }
+    if (base.kind == BmcResult::Kind::Timeout) {
+        result_.kind = KInductionResult::Kind::Timeout;
+        result_.k = k;
+        return true;
+    }
+
+    // Step case: a constraint-satisfying path with k bad-free frames
+    // followed by a bad frame, from an arbitrary (not necessarily
+    // reachable) starting state.
+    const size_t had_frames = stepUnroller_->numFrames();
+    stepUnroller_->ensureFrames(k + 1);
+    for (size_t f = had_frames; f < k + 1; ++f) {
+        for (NetId inv : options_.assumedInvariants)
+            stepCnf_->assertLit(stepUnroller_->wordOf(inv, f)[0]);
+    }
+    // Frames 0..k-1 are bad-free in the step case. Units for frames
+    // 0..k-2 were already added by earlier iterations.
+    stepCnf_->assertLit(~stepUnroller_->badLit(k - 1));
+
+    sat::Status status =
+        stepSolver_.solve({stepUnroller_->badLit(k)}, budget);
+    result_.conflicts = base.conflicts + stepSolver_.stats().conflicts;
+    result_.baseSafe = base_.checkedUpTo();
+    if (status == sat::Status::Unsat) {
+        result_.kind = KInductionResult::Kind::Proof;
+        result_.k = k;
+        return true;
+    }
+    if (status == sat::Status::Unknown) {
+        result_.kind = KInductionResult::Kind::Timeout;
+        result_.k = k;
+        return true;
+    }
+    // Sat: the property is not k-inductive; deepen.
+    ++k_;
+    result_.kind = KInductionResult::Kind::Unknown;
+    result_.k = k;
+    return false;
+}
+
 KInductionResult
 KInduction::run(Budget *budget)
 {
-    KInductionResult result;
-    for (size_t k = 1; k <= options_.maxK; ++k) {
-        // Base case: frames 0..k-1 must be bad-free from the real initial
-        // state.
-        BmcResult base = base_.run(k, budget);
-        result.conflicts = base.conflicts + stepSolver_.stats().conflicts;
-        if (base.kind == BmcResult::Kind::Cex) {
-            result.kind = KInductionResult::Kind::Cex;
-            result.k = base.depth;
-            result.trace = std::move(base.trace);
-            result.baseSafe = base_.checkedUpTo();
-            return result;
-        }
-        if (base.kind == BmcResult::Kind::Timeout) {
-            result.kind = KInductionResult::Kind::Timeout;
-            result.k = k;
-            result.baseSafe = base_.checkedUpTo();
-            return result;
-        }
-
-        // Step case: a constraint-satisfying path with k bad-free frames
-        // followed by a bad frame, from an arbitrary (not necessarily
-        // reachable) starting state.
-        const size_t had_frames = stepUnroller_->numFrames();
-        stepUnroller_->ensureFrames(k + 1);
-        for (size_t f = had_frames; f < k + 1; ++f) {
-            for (NetId inv : options_.assumedInvariants)
-                stepCnf_->assertLit(stepUnroller_->wordOf(inv, f)[0]);
-        }
-        // Frames 0..k-1 are bad-free in the step case. Units for frames
-        // 0..k-2 were already added by earlier iterations.
-        stepCnf_->assertLit(~stepUnroller_->badLit(k - 1));
-
-        sat::Status status =
-            stepSolver_.solve({stepUnroller_->badLit(k)}, budget);
-        result.conflicts = base.conflicts + stepSolver_.stats().conflicts;
-        if (status == sat::Status::Unsat) {
-            result.kind = KInductionResult::Kind::Proof;
-            result.k = k;
-            result.baseSafe = base_.checkedUpTo();
-            return result;
-        }
-        if (status == sat::Status::Unknown) {
-            result.kind = KInductionResult::Kind::Timeout;
-            result.k = k;
-            result.baseSafe = base_.checkedUpTo();
-            return result;
-        }
-        // Sat: the property is not k-inductive; deepen.
-    }
-    result.kind = KInductionResult::Kind::Unknown;
-    result.k = options_.maxK;
-    result.baseSafe = base_.checkedUpTo();
-    return result;
+    while (!step(budget)) {}
+    return result_;
 }
+
+namespace {
+
+/**
+ * Houdini phase 1: drop candidates violated in the first `window` frames
+ * from a legal initial state (the base case of the invariants' own
+ * k-induction). Batched: one "is any candidate false at frame f?" query
+ * per frame; on SAT, drop the violated candidates and retry. Returns
+ * false on interruption, with @p candidates holding the pruned-so-far
+ * set. Pruning is per-candidate, so any partition of the candidate set
+ * prunes to the same survivors - the property the sharded parallel path
+ * below relies on.
+ */
+bool
+pruneInitWindow(const rtl::Circuit &circuit,
+                std::vector<NetId> &candidates, size_t window,
+                Budget *budget)
+{
+    if (candidates.empty())
+        return true;
+    sat::Solver solver;
+    bitblast::CnfBuilder cnf(solver);
+    bitblast::Unroller unroller(circuit, cnf,
+                                /*free_initial_state=*/false,
+                                candidates);
+    for (size_t f = 0; f < window; ++f) {
+        unroller.ensureFrames(f + 1);
+        for (;;) {
+            if (fault::shouldFire("houdini.interrupt"))
+                return false;
+            std::vector<sat::Lit> holds;
+            holds.reserve(candidates.size());
+            for (NetId c : candidates)
+                holds.push_back(unroller.wordOf(c, f)[0]);
+            sat::Status status =
+                solver.solve({~cnf.andAll(holds)}, budget);
+            if (status == sat::Status::Unknown)
+                return false;
+            if (status == sat::Status::Unsat)
+                break; // all remaining candidates hold at frame f
+            std::vector<NetId> kept;
+            for (NetId c : candidates)
+                if (solver.modelValue(unroller.wordOf(c, f)[0]))
+                    kept.push_back(c);
+            csl_assert(kept.size() < candidates.size(),
+                       "init pruning made no progress");
+            candidates = std::move(kept);
+            if (candidates.empty())
+                return true;
+        }
+    }
+    return true;
+}
+
+} // namespace
 
 std::optional<std::vector<NetId>>
 proveInductiveInvariants(const rtl::Circuit &circuit,
                          std::vector<NetId> candidates, Budget *budget,
-                         size_t window, std::vector<NetId> *partial_out)
+                         size_t window, std::vector<NetId> *partial_out,
+                         size_t threads)
 {
     if (candidates.empty())
         return candidates;
@@ -101,42 +185,52 @@ proveInductiveInvariants(const rtl::Circuit &circuit,
         return std::nullopt;
     };
 
-    // Phase 1: drop candidates violated in the first `window` frames from
-    // a legal initial state (the base case of the invariants' own
-    // k-induction). Batched: one "is any candidate false at frame f?"
-    // query per frame; on SAT, drop the violated candidates and retry.
-    {
-        sat::Solver solver;
-        bitblast::CnfBuilder cnf(solver);
-        bitblast::Unroller unroller(circuit, cnf,
-                                    /*free_initial_state=*/false,
-                                    candidates);
-        for (size_t f = 0; f < window; ++f) {
-            unroller.ensureFrames(f + 1);
-            for (;;) {
-                if (fault::shouldFire("houdini.interrupt"))
-                    return interrupted();
-                std::vector<sat::Lit> holds;
-                holds.reserve(candidates.size());
-                for (NetId c : candidates)
-                    holds.push_back(unroller.wordOf(c, f)[0]);
-                sat::Status status =
-                    solver.solve({~cnf.andAll(holds)}, budget);
-                if (status == sat::Status::Unknown)
-                    return interrupted();
-                if (status == sat::Status::Unsat)
-                    break; // all remaining candidates hold at frame f
-                std::vector<NetId> kept;
-                for (NetId c : candidates)
-                    if (solver.modelValue(unroller.wordOf(c, f)[0]))
-                        kept.push_back(c);
-                csl_assert(kept.size() < candidates.size(),
-                           "init pruning made no progress");
-                candidates = std::move(kept);
-                if (candidates.empty())
-                    return candidates;
-            }
+    if (threads > 1 && candidates.size() >= 2 * threads) {
+        // Shard phase 1 across worker threads: each prunes its share of
+        // the candidates on a private clone of the circuit (private
+        // solver state) and publishes the survivors through a FactBoard.
+        // The shards partition the set, so the union is exactly the
+        // sequential survivor set.
+        const size_t shard_count = std::min(threads, candidates.size());
+        std::vector<std::vector<NetId>> shards(shard_count);
+        for (size_t i = 0; i < candidates.size(); ++i)
+            shards[i % shard_count].push_back(candidates[i]);
+        std::vector<rtl::Circuit> clones(shard_count, circuit);
+        FactBoard board;
+        std::atomic<bool> any_interrupted{false};
+        std::vector<std::thread> workers;
+        workers.reserve(shard_count);
+        for (size_t t = 0; t < shard_count; ++t) {
+            workers.emplace_back([&, t] {
+                // Budgets are single-thread objects: derive a per-shard
+                // one from the caller's remaining wall clock (and its
+                // deadline, whose cancellation flag is shared+atomic).
+                Budget shard_budget(budget ? budget->secondsLeft()
+                                           : std::numeric_limits<
+                                                 double>::infinity());
+                if (budget && budget->deadline())
+                    shard_budget.attachDeadline(*budget->deadline());
+                if (!pruneInitWindow(clones[t], shards[t], window,
+                                     budget ? &shard_budget : nullptr))
+                    any_interrupted.store(true,
+                                          std::memory_order_relaxed);
+                // Survivors (or, when interrupted, the shard's
+                // pruned-so-far set - exactly what a restart needs).
+                board.publishInvariants(shards[t]);
+            });
         }
+        for (std::thread &w : workers)
+            w.join();
+        candidates = board.invariants();
+        if (any_interrupted.load(std::memory_order_relaxed))
+            return interrupted();
+        if (candidates.empty())
+            return candidates;
+    } else {
+        if (!pruneInitWindow(circuit, candidates, window, budget))
+            return interrupted();
+        if (candidates.empty())
+            return candidates;
     }
 
     // Phase 2: Houdini fixpoint on joint window-inductiveness: assume

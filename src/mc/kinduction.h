@@ -73,8 +73,30 @@ class KInduction
     /** Run until proof, counterexample, maxK, or budget exhaustion. */
     KInductionResult run(Budget *budget = nullptr);
 
+    /**
+     * One induction depth: the base case up to the current k, then the
+     * step query at k. Returns true once the run has concluded (outcome
+     * in current()); false to deepen. The stepwise form is what the
+     * portfolio scheduler drives, importing shared facts between steps.
+     */
+    bool step(Budget *budget = nullptr);
+
+    /** Outcome so far; final once step() returned true. */
+    const KInductionResult &current() const { return result_; }
+
     /** Deepest base-case bound proven (or resumed as) bad-free. */
     size_t baseCheckedUpTo() const { return base_.checkedUpTo(); }
+
+    /**
+     * Adopt an externally proven bad-free bound (e.g. published by a
+     * concurrently running BMC engine) for the base case: frames
+     * 0..depth-1 are skipped instead of re-solved.
+     */
+    void importBaseSafe(size_t depth) { base_.markSafeUpTo(depth); }
+
+    /** Thread-safe: interrupt both solvers mid-run (see Bmc). */
+    void requestInterrupt();
+    void clearInterrupt();
 
   private:
     const rtl::Circuit &circuit_;
@@ -84,6 +106,9 @@ class KInduction
     sat::Solver stepSolver_;
     std::unique_ptr<bitblast::CnfBuilder> stepCnf_;
     std::unique_ptr<bitblast::Unroller> stepUnroller_;
+
+    size_t k_ = 1;            ///< next induction depth to try
+    KInductionResult result_; ///< outcome accumulator (see current())
 };
 
 /**
@@ -107,11 +132,18 @@ class KInduction
  * far - NOT yet proven inductive, but a sound and smaller seed for
  * restarting the search (the Houdini loop only ever removes candidates,
  * so a resumed run over the pruned set converges to the same fixpoint).
+ *
+ * @p threads > 1 shards the phase-1 initial-window pruning across that
+ * many worker threads, each solving its shard on a private clone of the
+ * circuit and publishing survivors through a FactBoard. Pruning is
+ * per-candidate, so sharding does not change which candidates survive;
+ * the result is identical to the sequential run. The phase-2 joint
+ * fixpoint is inherently sequential and always runs single-threaded.
  */
 std::optional<std::vector<rtl::NetId>> proveInductiveInvariants(
     const rtl::Circuit &circuit, std::vector<rtl::NetId> candidates,
     Budget *budget = nullptr, size_t window = 1,
-    std::vector<rtl::NetId> *partial_out = nullptr);
+    std::vector<rtl::NetId> *partial_out = nullptr, size_t threads = 1);
 
 } // namespace csl::mc
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "base/bits.h"
 #include "base/logging.h"
@@ -23,19 +26,19 @@ struct Cube
     bool operator==(const Cube &o) const = default;
 };
 
+} // namespace
+
 /** The PDR engine state. */
-class Pdr
+struct Pdr::Impl
 {
-  public:
-    Pdr(const rtl::Circuit &circuit, const PdrOptions &options,
-        Budget *budget)
-        : circuit_(circuit), options_(options), budget_(budget),
+    Impl(const rtl::Circuit &circuit, PdrOptions options)
+        : circuit_(circuit), options_(std::move(options)),
           transCnf_(transSolver_),
           trans_(circuit, transCnf_, /*free_initial_state=*/true,
-                 options.assumedInvariants),
+                 options_.assumedInvariants),
           initCnf_(initSolver_),
           init_(circuit, initCnf_, /*free_initial_state=*/false,
-                options.assumedInvariants)
+                options_.assumedInvariants)
     {
         trans_.ensureFrames(2);
         init_.ensureFrames(1);
@@ -59,6 +62,7 @@ class Pdr
                 stateInit_.push_back(b < wi.size() ? wi[b]
                                                    : initCnf_.trueLit());
                 initKnown_.push_back(b < wi.size());
+                bitOwner_.emplace_back(reg, static_cast<int>(b));
             }
         }
 
@@ -85,66 +89,88 @@ class Pdr
             transSolver_.addClause(~act0, trans_.wordOf(c, 0)[0]);
     }
 
-    PdrResult
-    run()
+    /** One major round; see Pdr::step(). */
+    bool
+    stepOnce(Budget *budget)
     {
-        PdrResult result;
-        // Depth-0: a bad initial state.
-        if (solveTrans({acts_[0], trans_.badLit(0)}) == Status::Sat) {
-            result.kind = PdrResult::Kind::Cex;
-            result.depth = 0;
-            return result;
-        }
-        if (exhausted())
-            return result;
+        budget_ = budget;
+        if (done_)
+            return true;
 
-        size_t k = 1;
-        newFrame(); // acts_[1]
-        while (k < options_.maxFrames) {
-            // Block all bad states reachable within F_k.
-            for (;;) {
-                std::vector<Lit> assumptions = frameAssumptions(k);
-                assumptions.push_back(trans_.badLit(0));
+        if (!started_) {
+            started_ = true;
+            // Depth-0: a bad initial state.
+            Status status = solveTrans({acts_[0], trans_.badLit(0)});
+            if (status == Status::Sat) {
+                result_.kind = PdrResult::Kind::Cex;
+                result_.depth = 0;
+                Cube state = extractState();
+                Trace trace;
+                trace.length = 1;
+                trace.initialRegs = regsOf(state);
+                trace.inputs.push_back(inputsAt0());
+                result_.trace = std::move(trace);
+                return conclude();
+            }
+            if (status == Status::Unknown)
+                return conclude(); // Timeout
+            safeBound_ = 1; // no bad initial state: cycle 0 is safe
+            k_ = 1;
+            newFrame(); // acts_[1]
+            return false;
+        }
+
+        if (k_ >= options_.maxFrames)
+            return conclude(); // frame budget exhausted: Timeout
+
+        // Block all bad states reachable within F_k.
+        for (;;) {
+            std::vector<Lit> assumptions = frameAssumptions(k_);
+            assumptions.push_back(trans_.badLit(0));
+            Status status = solveTrans(assumptions);
+            if (status == Status::Unknown)
+                return conclude();
+            if (status == Status::Unsat)
+                break;
+            Cube bad_state = extractState();
+            // Remember the inputs making this state bad: the final
+            // cycle of a counterexample trace through it.
+            badInputs_.emplace(keyOf(bad_state), inputsAt0());
+            if (!blockObligation(bad_state, k_, result_))
+                return conclude(); // cex or timeout (result_ filled)
+        }
+        // F_k overapproximates the states reachable within k steps and
+        // now contains no bad state, so cycles 0..k are bad-free - a
+        // BMC-style safe bound of k+1, publishable to the fact board.
+        safeBound_ = k_ + 1;
+
+        // Propagation: push blocked cubes forward; a fully pushed
+        // frame is an inductive invariant.
+        newFrame(); // acts_[k+1]
+        for (size_t i = 1; i <= k_; ++i) {
+            auto cubes = ownedCubes_[i]; // copy: we mutate below
+            for (const Cube &c : cubes) {
+                std::vector<Lit> assumptions = frameAssumptions(i);
+                for (auto [bit, value] : c.bits)
+                    assumptions.push_back(value ? state1_[bit]
+                                                : ~state1_[bit]);
                 Status status = solveTrans(assumptions);
                 if (status == Status::Unknown)
-                    return result;
+                    return conclude();
                 if (status == Status::Unsat)
-                    break;
-                Cube bad_state = extractState();
-                if (!blockObligation(bad_state, k, result))
-                    return result; // cex or timeout (result filled)
+                    moveCube(c, i, i + 1);
             }
-
-            // Propagation: push blocked cubes forward; a fully pushed
-            // frame is an inductive invariant.
-            newFrame(); // acts_[k+1]
-            for (size_t i = 1; i <= k; ++i) {
-                auto cubes = ownedCubes_[i]; // copy: we mutate below
-                for (const Cube &c : cubes) {
-                    std::vector<Lit> assumptions = frameAssumptions(i);
-                    for (auto [bit, value] : c.bits)
-                        assumptions.push_back(value ? state1_[bit]
-                                                    : ~state1_[bit]);
-                    Status status = solveTrans(assumptions);
-                    if (status == Status::Unknown)
-                        return result;
-                    if (status == Status::Unsat)
-                        moveCube(c, i, i + 1);
-                }
-                if (ownedCubes_[i].empty()) {
-                    result.kind = PdrResult::Kind::Proof;
-                    result.depth = i;
-                    result.frames = k;
-                    result.blockedCubes = blocked_;
-                    return result;
-                }
+            if (ownedCubes_[i].empty()) {
+                result_.kind = PdrResult::Kind::Proof;
+                result_.depth = i;
+                result_.frames = k_;
+                return conclude();
             }
-            ++k;
         }
-        return result; // frame budget exhausted: Timeout
+        ++k_;
+        return false;
     }
 
-  private:
     // --- Queries ---------------------------------------------------------
 
     Status
@@ -157,6 +183,17 @@ class Pdr
     exhausted() const
     {
         return budget_ && budget_->exhausted();
+    }
+
+    /** Latch the final result fields; step() returns true from now on. */
+    bool
+    conclude()
+    {
+        done_ = true;
+        if (result_.frames == 0 && !acts_.empty())
+            result_.frames = acts_.size() - 1;
+        result_.blockedCubes = blocked_;
+        return true;
     }
 
     /** Assumptions activating F_j in the transition solver. */
@@ -181,6 +218,78 @@ class Pdr
             cube.bits.emplace_back(int(j),
                                    transSolver_.modelValue(state0_[j]));
         return cube;
+    }
+
+    // --- Counterexample reconstruction -----------------------------------
+    //
+    // Every obligation cube is a *full* assignment to the state bits
+    // (extractState reads them all), so its bit string is a unique key.
+    // blockObligation records, for each predecessor model, the successor
+    // key plus the frame-0 input values of that model; the top-level bad
+    // queries record the inputs under which a state is bad. When an
+    // obligation reaches frame 0 the chain is stitched back into a
+    // concrete Trace.
+
+    std::string
+    keyOf(const Cube &cube) const
+    {
+        std::string key(cube.bits.size(), '0');
+        for (size_t j = 0; j < cube.bits.size(); ++j)
+            key[j] = cube.bits[j].second ? '1' : '0';
+        return key;
+    }
+
+    /** Register values of a full frame-0 cube. */
+    std::unordered_map<NetId, uint64_t>
+    regsOf(const Cube &cube) const
+    {
+        std::unordered_map<NetId, uint64_t> regs;
+        for (auto [bit, value] : cube.bits) {
+            auto [reg, pos] = bitOwner_[bit];
+            if (value)
+                regs[reg] |= uint64_t(1) << pos;
+            else
+                regs.try_emplace(reg, 0);
+        }
+        return regs;
+    }
+
+    /** Frame-0 input values of the last Sat model. */
+    std::unordered_map<NetId, uint64_t>
+    inputsAt0() const
+    {
+        std::unordered_map<NetId, uint64_t> inputs;
+        for (NetId in : circuit_.inputs()) {
+            if (trans_.cone()[in])
+                inputs[in] = trans_.valueOf(in, 0);
+        }
+        return inputs;
+    }
+
+    /** Stitch the obligation chain from initial state @p s0 into a
+     * Trace; leaves result.trace absent when the chain is broken. */
+    void
+    buildCexTrace(const Cube &s0, PdrResult &result)
+    {
+        Trace trace;
+        trace.initialRegs = regsOf(s0);
+        std::string cur = keyOf(s0);
+        size_t guard = parent_.size() + 2;
+        while (guard-- > 0) {
+            auto bad = badInputs_.find(cur);
+            if (bad != badInputs_.end()) {
+                trace.inputs.push_back(bad->second);
+                trace.length = trace.inputs.size();
+                result.depth = trace.length - 1;
+                result.trace = std::move(trace);
+                return;
+            }
+            auto link = parent_.find(cur);
+            if (link == parent_.end())
+                return; // chain broken: report the Cex without a trace
+            trace.inputs.push_back(link->second.inputs);
+            cur = link->second.succ;
+        }
     }
 
     /** Does the cube intersect the initial states? */
@@ -330,14 +439,20 @@ class Pdr
                 result.depth = k;
                 result.frames = k;
                 result.blockedCubes = blocked_;
+                buildCexTrace(s, result);
                 return false;
             }
             Status status = relativeInduction(s, i, nullptr);
             if (status == Status::Unknown)
                 return false;
             if (status == Status::Sat) {
-                // Predecessor in F_{i-1}: block it first.
-                queue.emplace(i - 1, extractState());
+                // Predecessor in F_{i-1}: block it first. Record the
+                // link (predecessor -> s under these inputs) for
+                // counterexample reconstruction.
+                Cube pred = extractState();
+                parent_.emplace(keyOf(pred),
+                                Link{keyOf(s), inputsAt0()});
+                queue.emplace(i - 1, std::move(pred));
                 continue;
             }
             // Blocked: generalize, record, and push the obligation
@@ -353,7 +468,7 @@ class Pdr
 
     const rtl::Circuit &circuit_;
     PdrOptions options_;
-    Budget *budget_;
+    Budget *budget_ = nullptr;
 
     sat::Solver transSolver_;
     bitblast::CnfBuilder transCnf_;
@@ -364,20 +479,80 @@ class Pdr
 
     std::vector<Lit> state0_, state1_, stateInit_;
     std::vector<bool> initKnown_;
+    std::vector<std::pair<NetId, int>> bitOwner_; ///< state bit -> (reg, bit)
     std::vector<Lit> acts_;
     std::vector<std::vector<Cube>> ownedCubes_;
     uint64_t blocked_ = 0;
+
+    struct Link
+    {
+        std::string succ;
+        std::unordered_map<NetId, uint64_t> inputs;
+    };
+    std::unordered_map<std::string, Link> parent_;
+    std::unordered_map<std::string, std::unordered_map<NetId, uint64_t>>
+        badInputs_;
+
+    bool started_ = false;
+    bool done_ = false;
+    size_t k_ = 0;
+    size_t safeBound_ = 0;
+    PdrResult result_;
 };
 
-} // namespace
+Pdr::Pdr(const rtl::Circuit &circuit, PdrOptions options)
+{
+    csl_assert(circuit.finalized(), "PDR requires a finalized circuit");
+    impl_ = std::make_unique<Impl>(circuit, std::move(options));
+}
+
+Pdr::~Pdr() = default;
+
+bool
+Pdr::step(Budget *budget)
+{
+    return impl_->stepOnce(budget);
+}
+
+const PdrResult &
+Pdr::current() const
+{
+    return impl_->result_;
+}
+
+PdrResult
+Pdr::run(Budget *budget)
+{
+    while (!impl_->stepOnce(budget)) {}
+    return impl_->result_;
+}
+
+size_t
+Pdr::safeFrames() const
+{
+    return impl_->safeBound_;
+}
+
+void
+Pdr::requestInterrupt()
+{
+    impl_->transSolver_.requestInterrupt();
+    impl_->initSolver_.requestInterrupt();
+}
+
+void
+Pdr::clearInterrupt()
+{
+    impl_->transSolver_.clearInterrupt();
+    impl_->initSolver_.clearInterrupt();
+}
 
 PdrResult
 runPdr(const rtl::Circuit &circuit, const PdrOptions &options,
        Budget *budget)
 {
-    csl_assert(circuit.finalized(), "PDR requires a finalized circuit");
-    Pdr engine(circuit, options, budget);
-    return engine.run();
+    Pdr engine(circuit, options);
+    return engine.run(budget);
 }
 
 } // namespace csl::mc

@@ -24,11 +24,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "base/budget.h"
 #include "bitblast/cnf_builder.h"
 #include "bitblast/unroller.h"
+#include "mc/trace.h"
 #include "rtl/circuit.h"
 #include "sat/solver.h"
 
@@ -46,6 +48,14 @@ struct PdrResult
     size_t depth = 0;  ///< Cex: trace length - 1; Proof: closing frame
     uint64_t blockedCubes = 0;
     uint64_t frames = 0;
+    /**
+     * Cex only: a concrete witness reconstructed from the obligation
+     * chain (predecessor states + the input assignments of the SAT
+     * models that produced them). Absent in the rare case the chain
+     * could not be stitched back together; the Cex verdict itself is
+     * still sound.
+     */
+    std::optional<Trace> trace;
 };
 
 /** PDR options. */
@@ -62,6 +72,46 @@ struct PdrOptions
      * invariant states cannot hide reachable bad states.
      */
     std::vector<rtl::NetId> assumedInvariants;
+};
+
+/**
+ * The PDR engine as a stepwise object (the form the portfolio scheduler
+ * drives); runPdr() below wraps it for one-shot use.
+ */
+class Pdr
+{
+  public:
+    explicit Pdr(const rtl::Circuit &circuit, PdrOptions options = {});
+    ~Pdr();
+
+    /**
+     * One major round: the depth-0 check on the first call, afterwards
+     * one level k (block every bad state reachable within F_k, then
+     * propagate clauses forward). Returns true once the run concluded;
+     * the outcome is in current().
+     */
+    bool step(Budget *budget = nullptr);
+
+    /** Outcome so far; final once step() returned true. */
+    const PdrResult &current() const;
+
+    /** Run to conclusion. */
+    PdrResult run(Budget *budget = nullptr);
+
+    /**
+     * Cycles proven bad-free so far: after the block loop at level k
+     * succeeds, no bad state is reachable within k steps, i.e. frames
+     * 0..k are bad-free (a BMC-style bound of k+1).
+     */
+    size_t safeFrames() const;
+
+    /** Thread-safe: interrupt both solvers mid-run (see Bmc). */
+    void requestInterrupt();
+    void clearInterrupt();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
 };
 
 /** Run PDR on the circuit's bad-state property. */

@@ -1,77 +1,159 @@
 #include "mc/portfolio.h"
 
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <thread>
+
 #include "base/stopwatch.h"
 
 namespace csl::mc {
 
-const char *
-verdictName(Verdict verdict)
+namespace {
+
+/** One engine's slot in a portfolio run. */
+struct EngineRun
 {
-    switch (verdict) {
-      case Verdict::Attack: return "ATTACK";
-      case Verdict::Proof: return "PROOF";
-      case Verdict::BoundedSafe: return "BOUNDED-SAFE";
-      case Verdict::Timeout: return "TIMEOUT";
-      case Verdict::Diagnosed: return "DIAGNOSED";
-    }
-    return "?";
-}
+    std::unique_ptr<rtl::Circuit> clone; ///< null on the inline path
+    std::unique_ptr<Engine> engine;
+    EngineResult result;
+    double seconds = 0;
+};
+
+} // namespace
 
 CheckResult
 checkProperty(const rtl::Circuit &circuit, const CheckOptions &options)
 {
     Stopwatch watch;
-    Budget budget(options.timeoutSeconds);
-    if (options.deadline)
-        budget.attachDeadline(*options.deadline);
-    CheckResult result;
 
-    if (options.tryProof) {
-        KInductionOptions kopts;
-        kopts.maxK = options.maxDepth;
-        kopts.assumedInvariants = options.assumedInvariants;
-        kopts.decisionSeed = options.decisionSeed;
-        kopts.startSafeDepth = options.startSafeDepth;
-        KInduction engine(circuit, std::move(kopts));
-        KInductionResult kres = engine.run(&budget);
-        result.depth = kres.k;
-        result.conflicts = kres.conflicts;
-        result.deepestSafeBound = kres.baseSafe;
-        switch (kres.kind) {
-          case KInductionResult::Kind::Cex:
-            result.verdict = Verdict::Attack;
-            result.trace = std::move(kres.trace);
-            break;
-          case KInductionResult::Kind::Proof:
-            result.verdict = Verdict::Proof;
-            break;
-          case KInductionResult::Kind::Unknown:
-            result.verdict = Verdict::BoundedSafe;
-            break;
-          case KInductionResult::Kind::Timeout:
-            result.verdict = Verdict::Timeout;
-            break;
+    std::vector<EngineKind> kinds = options.engines;
+    if (kinds.empty()) {
+        // Default set: both engines report minimal-depth attacks, so the
+        // facade stays depth-exact for the cross-check oracle. PDR joins
+        // only by explicit selection (runner proof stages, --engines).
+        kinds.push_back(EngineKind::Bmc);
+        if (options.tryProof)
+            kinds.push_back(EngineKind::KInduction);
+    }
+
+    EngineConfig config;
+    config.maxDepth = options.maxDepth;
+    config.assumedInvariants = options.assumedInvariants;
+    config.decisionSeed = options.decisionSeed;
+    config.startSafeDepth = options.startSafeDepth;
+
+    FactBoard board;
+    board.publishSafeBound(options.startSafeDepth);
+
+    // The shared time bound. Engines observe a caller cancellation
+    // through this slice's shared flag; first-winner cancellation goes
+    // through Engine::cancel() instead - cancelling the slice would
+    // cancel the caller's deadline too (slices share the flag).
+    Deadline shared =
+        options.deadline ? options.deadline->slice(options.timeoutSeconds)
+                         : Deadline::in(options.timeoutSeconds);
+
+    const size_t n = kinds.size();
+    std::vector<EngineRun> runs(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (n == 1) {
+            // Single engine: run inline on the caller's circuit.
+            runs[i].engine = makeEngine(kinds[i], circuit, config);
+        } else {
+            // Private clone per engine: NetIds are indices into value
+            // arrays, so they stay valid across the copy and the
+            // engines' invariant/bound facts remain exchangeable.
+            runs[i].clone = std::make_unique<rtl::Circuit>(circuit);
+            runs[i].engine = makeEngine(kinds[i], *runs[i].clone, config);
         }
+    }
+
+    std::mutex winner_mutex;
+    int winner = -1;
+
+    auto drive = [&](size_t i) {
+        Stopwatch engine_watch;
+        // Budgets are single-thread objects: one per engine, all bounded
+        // by the shared (atomic) deadline slice.
+        Budget budget(options.timeoutSeconds);
+        budget.attachDeadline(shared);
+        Engine &engine = *runs[i].engine;
+        engine.start(&board, &budget);
+        for (;;) {
+            if (engine.step()) {
+                runs[i].result = engine.takeResult();
+                break;
+            }
+            if (budget.exhausted()) {
+                // Latch the engine's own interrupt so the next step is
+                // guaranteed to conclude (with Timeout), then collect.
+                engine.cancel();
+                engine.step();
+                runs[i].result = engine.takeResult();
+                break;
+            }
+        }
+        runs[i].seconds = engine_watch.seconds();
+
+        // First conclusive verdict wins; losers are cancelled through
+        // their thread-safe interrupt and conclude at the next poll.
+        if (runs[i].result.conclusive()) {
+            std::lock_guard<std::mutex> lock(winner_mutex);
+            if (winner < 0) {
+                winner = static_cast<int>(i);
+                for (size_t j = 0; j < n; ++j)
+                    if (j != i)
+                        runs[j].engine->cancel();
+            }
+        }
+    };
+
+    if (n == 1) {
+        drive(0);
     } else {
-        Bmc engine(circuit, options.decisionSeed);
-        if (options.startSafeDepth > 0)
-            engine.markSafeUpTo(options.startSafeDepth);
-        BmcResult bres = engine.run(options.maxDepth, &budget);
-        result.depth = bres.depth;
-        result.conflicts = bres.conflicts;
-        result.deepestSafeBound = engine.checkedUpTo();
-        switch (bres.kind) {
-          case BmcResult::Kind::Cex:
-            result.verdict = Verdict::Attack;
-            result.trace = std::move(bres.trace);
-            break;
-          case BmcResult::Kind::BoundedSafe:
-            result.verdict = Verdict::BoundedSafe;
-            break;
-          case BmcResult::Kind::Timeout:
-            result.verdict = Verdict::Timeout;
-            break;
-        }
+        std::vector<std::thread> threads;
+        threads.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            threads.emplace_back(drive, i);
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    CheckResult result;
+    result.importedFacts = board.imports();
+    size_t best_bound = board.safeBound();
+    bool any_bounded = false;
+    for (size_t i = 0; i < n; ++i) {
+        const EngineResult &er = runs[i].result;
+        EngineOutcome outcome;
+        outcome.kind = kinds[i];
+        outcome.verdict = er.verdict;
+        outcome.depth = er.depth;
+        outcome.seconds = runs[i].seconds;
+        outcome.conflicts = er.conflicts;
+        outcome.deepestSafeBound = er.deepestSafeBound;
+        outcome.importedFacts = er.importedFacts;
+        outcome.winner = static_cast<int>(i) == winner;
+        result.engines.push_back(std::move(outcome));
+        result.conflicts += er.conflicts;
+        best_bound = std::max(best_bound, er.deepestSafeBound);
+        any_bounded |= er.verdict == Verdict::BoundedSafe;
+    }
+    result.deepestSafeBound = best_bound;
+
+    if (winner >= 0) {
+        EngineResult &won = runs[winner].result;
+        result.verdict = won.verdict;
+        result.depth = won.depth;
+        result.trace = std::move(won.trace);
+        result.winner = engineKindName(kinds[winner]);
+    } else {
+        // No engine concluded Attack/Proof: synthesize the strongest
+        // sound partial verdict from the pooled facts.
+        result.verdict =
+            any_bounded ? Verdict::BoundedSafe : Verdict::Timeout;
+        result.depth = best_bound;
     }
     result.seconds = watch.seconds();
     return result;

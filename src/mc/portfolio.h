@@ -1,8 +1,15 @@
 /**
  * @file
  * The one-call property-checking facade used by the verification schemes
- * and benches: run k-induction (which interleaves base-case BMC), or BMC
- * alone, under a budget, and summarize the outcome.
+ * and benches - now a concurrent first-winner portfolio over the uniform
+ * Engine interface (see mc/engine.h and DESIGN.md "Engine layer").
+ *
+ * Each selected engine runs on its own thread over a private clone of
+ * the circuit; the first conclusive verdict (Attack or Proof) wins and
+ * cancels the others through the thread-safe solver interrupt. While
+ * running, engines exchange monotone facts (bad-free bounds, proven
+ * invariants) through a shared FactBoard, so e.g. a BMC-published safe
+ * bound shortens a sibling k-induction's base case mid-run.
  */
 
 #ifndef CSL_MC_PORTFOLIO_H_
@@ -13,19 +20,21 @@
 #include <vector>
 
 #include "base/deadline.h"
+#include "mc/engine.h"
 #include "mc/kinduction.h"
 #include "rtl/circuit.h"
 
 namespace csl::mc {
 
-/** Engine configuration. */
+/** Portfolio configuration. */
 struct CheckOptions
 {
     /** Maximum BMC depth / induction k. */
     size_t maxDepth = 40;
     /** Wall-clock limit (the paper's 7-day timeout, scaled down). */
     double timeoutSeconds = 600.0;
-    /** Attempt unbounded proofs; when false only BMC runs. */
+    /** Attempt unbounded proofs; when false only BMC runs (unless an
+     * explicit engine set overrides the default below). */
     bool tryProof = true;
     /** Trusted strengthening invariants for the induction step. */
     std::vector<rtl::NetId> assumedInvariants;
@@ -39,20 +48,27 @@ struct CheckOptions
     uint64_t decisionSeed = 0;
     /** Frames a previous run of this circuit proved bad-free (resume). */
     size_t startSafeDepth = 0;
+    /**
+     * Engines to race. Empty selects the default set: {bmc, kind} when
+     * tryProof, {bmc} otherwise (both report minimal-depth attacks, so
+     * the default facade stays depth-exact for the cross-check oracle).
+     * A single-element set runs inline with no thread or clone.
+     */
+    std::vector<EngineKind> engines;
 };
 
-/** Final verdict of a verification task. */
-enum class Verdict {
-    Attack,      ///< counterexample found (a real attack program)
-    Proof,       ///< unbounded proof completed
-    BoundedSafe, ///< no attack up to maxDepth, no proof attempted/found
-    Timeout,     ///< budget exhausted without an answer
-    Diagnosed,   ///< static pre-flight found the circuit ill-formed;
-                 ///< no engine was run (details in the lint report)
+/** Telemetry for one engine of a portfolio run. */
+struct EngineOutcome
+{
+    EngineKind kind = EngineKind::Bmc;
+    Verdict verdict = Verdict::Timeout;
+    size_t depth = 0;
+    double seconds = 0;
+    uint64_t conflicts = 0;
+    size_t deepestSafeBound = 0;
+    uint64_t importedFacts = 0;
+    bool winner = false;
 };
-
-/** Render a verdict for tables. */
-const char *verdictName(Verdict verdict);
 
 /** Outcome summary. */
 struct CheckResult
@@ -61,10 +77,17 @@ struct CheckResult
     size_t depth = 0; ///< cex frame or proof k or deepest safe bound
     std::optional<Trace> trace;
     double seconds = 0;
-    uint64_t conflicts = 0;
+    uint64_t conflicts = 0; ///< summed over all engines
     /** Deepest bound proven bad-free - the salvageable partial answer,
      * filled in even when the verdict is Timeout. */
     size_t deepestSafeBound = 0;
+    /** Engine that produced the verdict ("bmc", "kind", ...); empty when
+     * no engine concluded (the verdict was synthesized). */
+    std::string winner;
+    /** Facts imported across engines through the FactBoard. */
+    uint64_t importedFacts = 0;
+    /** Per-engine telemetry, in engine-set order. */
+    std::vector<EngineOutcome> engines;
 };
 
 /** Check that no bad net of @p circuit is reachable. */

@@ -543,7 +543,7 @@ Solver::solve(const std::vector<Lit> &assumptions, Budget *budget)
     csl_assert(decisionLevel() == 0, "solve re-entered above root");
     model_.clear();
     conflict_.clear();
-    if (allocFailed_)
+    if (allocFailed_ || interruptRequested())
         return Status::Unknown;
     if (!ok_)
         return Status::Unsat;
@@ -563,6 +563,10 @@ Solver::solve(const std::vector<Lit> &assumptions, Budget *budget)
 
     for (;;) {
         CRef confl = propagate();
+        if (interruptRequested()) {
+            cancelUntil(0);
+            return Status::Unknown;
+        }
         if (confl != kCRefUndef) {
             ++stats_.conflicts;
             if (budget) {

@@ -14,6 +14,7 @@
 #ifndef CSL_SAT_SOLVER_H_
 #define CSL_SAT_SOLVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -119,6 +120,32 @@ class Solver
      * whose witness failed its simulation audit.
      */
     void setDecisionSeed(uint64_t seed);
+
+    /**
+     * Request cooperative interruption of an in-flight solve(). Safe to
+     * call from any thread: the flag is atomic and the search loop polls
+     * it at every conflict and decision boundary, backtracks to the root
+     * and returns Unknown. The request is latched - subsequent solve()
+     * calls answer Unknown immediately until clearInterrupt(). This is
+     * the cancellation hook the portfolio scheduler uses to stop losing
+     * engines once a sibling produced a conclusive verdict.
+     */
+    void requestInterrupt()
+    {
+        interruptRequested_.store(true, std::memory_order_relaxed);
+    }
+
+    /** Re-arm the solver after a cross-thread interrupt. */
+    void clearInterrupt()
+    {
+        interruptRequested_.store(false, std::memory_order_relaxed);
+    }
+
+    /** True while an interrupt request is latched. Thread-safe. */
+    bool interruptRequested() const
+    {
+        return interruptRequested_.load(std::memory_order_relaxed);
+    }
 
     /**
      * True once the solver has degraded (clause-database allocation
@@ -264,6 +291,9 @@ class Solver
 
     uint64_t seed_ = 0;       ///< xorshift state for randomized decisions
     bool seedPending_ = false; ///< activity jitter owed before next solve
+
+    /// Cross-thread cancellation; see requestInterrupt().
+    std::atomic<bool> interruptRequested_{false};
 
     double maxLearnts_ = 0;
     SolverStats stats_;

@@ -38,7 +38,11 @@ Journal::save(const std::string &path) const
         }
         for (const Stage &stage : stages)
             out << "stage " << stage.name << " " << stage.verdict << " "
-                << stage.depth << " " << stage.seconds << "\n";
+                << stage.depth << " " << stage.seconds << " "
+                << (stage.winner.empty() ? "-" : stage.winner) << "\n";
+        if (!winningEngine.empty())
+            out << "winner " << winningEngine << "\n";
+        out << "imported " << importedFacts << "\n";
         if (!finalVerdict.empty())
             out << "final " << finalVerdict << "\n";
         out.flush();
@@ -93,7 +97,14 @@ Journal::load(const std::string &path)
             Stage stage;
             ls >> stage.name >> stage.verdict >> stage.depth >>
                 stage.seconds;
+            // Optional trailing winner token (absent in old journals).
+            if (ls >> stage.winner && stage.winner == "-")
+                stage.winner.clear();
             journal.stages.push_back(std::move(stage));
+        } else if (tag == "winner") {
+            ls >> journal.winningEngine;
+        } else if (tag == "imported") {
+            ls >> journal.importedFacts;
         } else if (tag == "final") {
             ls >> journal.finalVerdict;
         }

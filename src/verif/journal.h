@@ -51,11 +51,20 @@ struct Journal
         std::string verdict;
         size_t depth = 0;
         double seconds = 0;
+        /** Portfolio winner for the stage ("bmc", "kind", ...); empty
+         * when the stage verdict was synthesized or pre-portfolio. */
+        std::string winner;
     };
     std::vector<Stage> stages;
 
     /** Deepest BMC bound proven bad-free so far. */
     size_t bmcSafeDepth = 0;
+
+    /** Engine that produced the final verdict; empty when none did. */
+    std::string winningEngine;
+
+    /** Facts exchanged between portfolio engines over the whole run. */
+    uint64_t importedFacts = 0;
 
     /** Houdini survivors proven jointly inductive (net names). Only
      * meaningful when provenValid; an empty proven set is a result too. */

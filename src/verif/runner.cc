@@ -359,12 +359,21 @@ runResilientVerification(const VerificationTask &task,
     std::vector<NetId> invariants;     // proven, usable as assumptions
     std::vector<NetId> candidateSeed = built.candidates;
     bool resumedInvariants = false;
+    std::vector<mc::EngineKind> userEngines = options.engines;
 
     if (options.resume && checkpointing) {
         auto loaded = Journal::load(options.journalPath);
         if (loaded && loaded->fingerprint == journal.fingerprint) {
             rr.resumed = true;
             rr.deepestSafeBound = loaded->bmcSafeDepth;
+            if (userEngines.empty()) {
+                // Re-adopt the recorded engine set so the resumed run
+                // races the same engines (verdict-stable resume).
+                std::string recorded = loaded->param("engines");
+                if (!recorded.empty())
+                    if (auto kinds = mc::parseEngineList(recorded))
+                        userEngines = *kinds;
+            }
             if (loaded->provenValid) {
                 if (auto nets = netsByName(circuit,
                                            loaded->provenInvariants)) {
@@ -395,6 +404,22 @@ runResilientVerification(const VerificationTask &task,
         }
     }
     journal.bmcSafeDepth = rr.deepestSafeBound;
+    if (!userEngines.empty())
+        journal.params["engines"] = mc::engineListName(userEngines);
+
+    // Per-stage engine sets (see RunnerOptions::engines). The hunt and
+    // fallback stages default to BMC alone so attack depths stay
+    // minimal; proof stages race the full portfolio.
+    const std::vector<mc::EngineKind> proofEngines =
+        userEngines.empty()
+            ? std::vector<mc::EngineKind>{mc::EngineKind::Bmc,
+                                          mc::EngineKind::KInduction,
+                                          mc::EngineKind::Pdr}
+            : userEngines;
+    const std::vector<mc::EngineKind> huntEngines =
+        userEngines.empty()
+            ? std::vector<mc::EngineKind>{mc::EngineKind::Bmc}
+            : userEngines;
 
     auto checkpoint = [&](const char *boundary) {
         if (!checkpointing)
@@ -413,7 +438,8 @@ runResilientVerification(const VerificationTask &task,
     auto recordStage = [&](StageOutcome outcome) {
         journal.stages.push_back({outcome.name,
                                   mc::verdictName(outcome.verdict),
-                                  outcome.depth, outcome.seconds});
+                                  outcome.depth, outcome.seconds,
+                                  outcome.winner});
         rr.stages.push_back(std::move(outcome));
     };
 
@@ -443,7 +469,7 @@ runResilientVerification(const VerificationTask &task,
         std::vector<NetId> pruning_front;
         auto survivors = mc::proveInductiveInvariants(
             circuit, candidateSeed, &houdini_budget, window,
-            &pruning_front);
+            &pruning_front, options.houdiniThreads);
         StageOutcome outcome;
         outcome.name = "houdini-w" + std::to_string(window);
         outcome.seconds = hw.seconds();
@@ -483,10 +509,13 @@ runResilientVerification(const VerificationTask &task,
     std::optional<mc::CheckResult> audited_attack;
 
     auto runStage = [&](const char *name, bool try_proof,
-                        double slice_seconds) -> mc::CheckResult {
+                        double slice_seconds,
+                        const std::vector<mc::EngineKind> &engines)
+        -> mc::CheckResult {
         mc::CheckOptions copts;
         copts.maxDepth = task.maxDepth;
         copts.tryProof = try_proof;
+        copts.engines = engines;
         copts.assumedInvariants = invariants;
         copts.deadline = root;
         Stopwatch sw;
@@ -500,6 +529,8 @@ runResilientVerification(const VerificationTask &task,
             copts.startSafeDepth = rr.deepestSafeBound;
             cres = mc::checkProperty(circuit, copts);
             conflicts += cres.conflicts;
+            rr.importedFacts += cres.importedFacts;
+            journal.importedFacts = rr.importedFacts;
             rr.deepestSafeBound =
                 std::max(rr.deepestSafeBound, cres.deepestSafeBound);
             journal.bmcSafeDepth = rr.deepestSafeBound;
@@ -543,6 +574,7 @@ runResilientVerification(const VerificationTask &task,
         outcome.verdict = cres.verdict;
         outcome.depth = cres.depth;
         outcome.seconds = sw.seconds();
+        outcome.winner = cres.winner;
         recordStage(std::move(outcome));
         return cres;
     };
@@ -562,7 +594,7 @@ runResilientVerification(const VerificationTask &task,
             runHoudini(first_window, root.remaining() / 4);
         checkpoint("houdini");
         double slice1 = root.remaining() * options.stage1Fraction;
-        last = runStage("kinduction", true, slice1);
+        last = runStage("kinduction", true, slice1, proofEngines);
         have_result = true;
         checkpoint("kinduction");
 
@@ -577,7 +609,8 @@ runResilientVerification(const VerificationTask &task,
             if (root.remaining() > 0.05) {
                 double slice2 =
                     root.remaining() * options.stage2Fraction;
-                last = runStage("kinduction-strengthened", true, slice2);
+                last = runStage("kinduction-strengthened", true, slice2,
+                                proofEngines);
                 checkpoint("kinduction-strengthened");
             }
         }
@@ -586,11 +619,11 @@ runResilientVerification(const VerificationTask &task,
         // the remaining clock allows.
         if (!concluded(last) && rr.deepestSafeBound < task.maxDepth &&
             root.remaining() > 0.05) {
-            last = runStage("bmc", false, root.remaining());
+            last = runStage("bmc", false, root.remaining(), huntEngines);
             checkpoint("bmc");
         }
     } else {
-        last = runStage("bmc", false, root.remaining());
+        last = runStage("bmc", false, root.remaining(), huntEngines);
         have_result = true;
         checkpoint("bmc");
     }
@@ -600,11 +633,13 @@ runResilientVerification(const VerificationTask &task,
     if (audited_attack) {
         res.verdict = Verdict::Attack;
         res.depth = audited_attack->depth;
+        rr.winningEngine = audited_attack->winner;
         res.attackReport = decodeAttack(circuit, *audited_attack->trace,
                                         built.cpu1, built.cpu2, ic);
     } else if (last.verdict == Verdict::Proof) {
         res.verdict = Verdict::Proof;
         res.depth = last.depth;
+        rr.winningEngine = last.winner;
     } else if (rr.deepestSafeBound >= task.maxDepth ||
                rr.quarantinedWitnesses > 0) {
         // Bounded-safe up to the requested depth, or degraded after
@@ -631,6 +666,8 @@ runResilientVerification(const VerificationTask &task,
     res.detail = detail.str();
 
     journal.finalVerdict = mc::verdictName(res.verdict);
+    journal.winningEngine = rr.winningEngine;
+    journal.importedFacts = rr.importedFacts;
     if (checkpointing && !journal.save(options.journalPath))
         csl_warn("final journal write failed");
     return rr;

@@ -69,6 +69,20 @@ struct RunnerOptions
 
     /** Base SAT decision seed (0 = deterministic default search). */
     uint64_t decisionSeed = 0;
+
+    /**
+     * Engines raced inside every solver stage (see mc/engine.h). Empty
+     * selects per-stage defaults: proof stages race {bmc, kind, pdr},
+     * the hunt/fallback stage runs {bmc} alone so reported attack
+     * depths stay minimal. A non-empty set applies to every stage, is
+     * recorded in the journal ("engines" param) and re-adopted by
+     * --resume when the resuming caller leaves it empty - so a resumed
+     * run races the same engines and lands on the same verdict.
+     */
+    std::vector<mc::EngineKind> engines;
+
+    /** Worker threads for the Houdini pruning phase (1 = sequential). */
+    size_t houdiniThreads = 1;
 };
 
 /** What happened in one runner stage. */
@@ -79,6 +93,8 @@ struct StageOutcome
     size_t depth = 0;
     double seconds = 0;
     std::string note;
+    /** Engine whose verdict the stage adopted (empty: synthesized). */
+    std::string winner;
 };
 
 /** runVerification()'s result plus the runner's resilience telemetry. */
@@ -94,6 +110,10 @@ struct RunnerResult
     size_t deepestSafeBound = 0;
     /** True when a journal was loaded and its facts were reused. */
     bool resumed = false;
+    /** Engine that produced the final verdict (empty: synthesized). */
+    std::string winningEngine;
+    /** Facts exchanged between portfolio engines across all stages. */
+    uint64_t importedFacts = 0;
 };
 
 /**

@@ -221,7 +221,10 @@ TEST(CheckProperty, AttackProofAndBoundedSafe)
 TEST(CheckProperty, TimeoutOnTinyBudget)
 {
     // A 24-bit counter with an unreachable odd target: induction will not
-    // converge quickly, and the budget is microscopic.
+    // converge quickly, and the budget is microscopic. The depth bound
+    // must be deep enough that a dedicated BMC engine cannot finish the
+    // (trivially unsat) frame sweep within the budget and report an
+    // honest BoundedSafe instead.
     Circuit circuit;
     Builder b(circuit);
     Sig c = b.reg("c", 24, 0);
@@ -229,10 +232,12 @@ TEST(CheckProperty, TimeoutOnTinyBudget)
     b.assertAlways(b.ne(c, b.lit(0xffffff, 24)), "never_odd");
     b.finish();
     CheckOptions opts;
-    opts.maxDepth = 4000;
+    opts.maxDepth = 1000000;
     opts.timeoutSeconds = 0.05;
     CheckResult r = checkProperty(circuit, opts);
     EXPECT_EQ(r.verdict, Verdict::Timeout);
+    // The pooled partial facts survive the timeout.
+    EXPECT_GT(r.deepestSafeBound, 0u);
 }
 
 TEST(VerdictName, AllNamed)

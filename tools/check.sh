@@ -1,21 +1,36 @@
 #!/bin/sh
-# Configure a sanitizer build and run the tier-1 test suite under
-# ASan/UBSan. Uses a separate build tree so the regular build directory
-# keeps its cache. Any sanitizer finding aborts the offending test
+# Configure sanitizer builds and run the tier-1 test suite under them.
+# Uses separate build trees so the regular build directory keeps its
+# cache. Any sanitizer finding aborts the offending test
 # (-fno-sanitize-recover=all), so a green run means a clean suite.
 #
-# Usage: tools/check.sh [build-dir]   (default: build-san)
+# Two passes (TSan cannot be combined with ASan):
+#   1. ASan/UBSan over the full tier-1 ctest suite
+#   2. ThreadSanitizer over the concurrency-bearing binaries (the
+#      portfolio scheduler, the mc facade it replaced, the sharded
+#      Houdini prune) - zero races is a hard requirement for the
+#      first-winner cancellation protocol.
+#
+# Usage: tools/check.sh [build-dir]   (default: build-san; the TSan
+#        tree is <build-dir>-tsan)
 set -eu
 
 repo=$(cd "$(dirname "$0")/.." && pwd)
 build=${1:-"$repo/build-san"}
+tsan_build="${build}-tsan"
 jobs=$(nproc 2>/dev/null || echo 4)
 
 cmake -B "$build" -S "$repo" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCSL_SANITIZE=address,undefined
 cmake --build "$build" -j "$jobs"
-ctest --test-dir "$build" --output-on-failure -j "$jobs"
+# The wall-clock bench smokes are excluded here: their runtime under a
+# sanitizer is dominated by verification runs burning their full (real-
+# time) budgets, which tells us nothing the plain-build ctest entries
+# don't. resilience_smoke still runs under ASan below, without a ctest
+# timeout; the portfolio's concurrency is the TSan pass's job.
+ctest --test-dir "$build" --output-on-failure -j "$jobs" \
+    -E '^(resilience_smoke|portfolio_smoke)$'
 
 # The fault-injection matrix exercises the runtime's recovery paths
 # (degraded solver, interrupted Houdini, SIGKILL + resume); run it under
@@ -23,3 +38,15 @@ ctest --test-dir "$build" --output-on-failure -j "$jobs"
 # also a ctest entry, but a direct run keeps its output visible and
 # fails loudly on its own exit code.
 "$build/bench/resilience_smoke"
+
+# --- ThreadSanitizer pass -------------------------------------------------
+# Build only the threaded targets (plus their deps) and run the test
+# binaries directly: gtest discovery needs no ctest here, and a partial
+# build keeps the pass fast.
+cmake -B "$tsan_build" -S "$repo" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCSL_SANITIZE=thread
+cmake --build "$tsan_build" -j "$jobs" \
+    --target test_portfolio test_mc
+TSAN_OPTIONS="halt_on_error=1" "$tsan_build/tests/test_portfolio"
+TSAN_OPTIONS="halt_on_error=1" "$tsan_build/tests/test_mc"

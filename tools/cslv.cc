@@ -55,6 +55,13 @@ engine:
   --hunt               attack search only (BMC, differing secrets)
   --depth <k>          max BMC depth / induction k (default 24)
   --budget <seconds>   wall-clock budget (default 600)
+  --engines <set>      comma-separated engines raced concurrently in
+                       every solver stage: bmc, kind, pdr, exh
+                       (e.g. --engines=bmc,kind,pdr); first conclusive
+                       verdict wins and cancels the rest. Default:
+                       proof stages race bmc,kind,pdr; hunt runs bmc
+  --houdini-threads <n>  worker threads for the invariant search
+                       (default 1)
   --exclude-misaligned forbid misaligned-address programs
   --exclude-oor        forbid out-of-range-address programs
 
@@ -89,6 +96,16 @@ bool
 match(const char *arg, const char *flag)
 {
     return std::strcmp(arg, flag) == 0;
+}
+
+/** Match `--flag=value`, returning the value part on success. */
+const char *
+matchEq(const char *arg, const char *flag)
+{
+    size_t n = std::strlen(flag);
+    if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=')
+        return arg + n + 1;
+    return nullptr;
 }
 
 /** Per-verdict exit code (documented in usage()). */
@@ -146,6 +163,8 @@ resultJson(const verif::VerificationResult &result,
             << ",\"quarantinedWitnesses\":" << runner->quarantinedWitnesses
             << ",\"auditRetries\":" << runner->auditRetries
             << ",\"resumed\":" << (runner->resumed ? "true" : "false")
+            << ",\"winner\":\"" << jsonEscape(runner->winningEngine)
+            << "\",\"importedFacts\":" << runner->importedFacts
             << ",\"stages\":[";
         for (size_t i = 0; i < runner->stages.size(); ++i) {
             const verif::StageOutcome &stage = runner->stages[i];
@@ -153,7 +172,8 @@ resultJson(const verif::VerificationResult &result,
                 << jsonEscape(stage.name) << "\",\"verdict\":\""
                 << mc::verdictName(stage.verdict)
                 << "\",\"depth\":" << stage.depth
-                << ",\"seconds\":" << stage.seconds << "}";
+                << ",\"seconds\":" << stage.seconds << ",\"winner\":\""
+                << jsonEscape(stage.winner) << "\"}";
         }
         oss << "]";
     }
@@ -228,6 +248,26 @@ main(int argc, char **argv)
             task.maxDepth = size_t(std::atoi(value()));
         } else if (match(argv[i], "--budget")) {
             task.timeoutSeconds = std::atof(value());
+        } else if (match(argv[i], "--engines") ||
+                   matchEq(argv[i], "--engines")) {
+            const char *eq = matchEq(argv[i], "--engines");
+            std::string v = eq ? eq : value();
+            auto kinds = mc::parseEngineList(v);
+            if (!kinds || kinds->empty()) {
+                std::fprintf(stderr,
+                             "bad engine set '%s' (expected a comma-"
+                             "separated subset of bmc,kind,pdr,exh)\n",
+                             v.c_str());
+                return 2;
+            }
+            ropts.engines = *kinds;
+        } else if (match(argv[i], "--houdini-threads")) {
+            int n = std::atoi(value());
+            if (n < 1) {
+                std::fprintf(stderr, "--houdini-threads needs n >= 1\n");
+                return 2;
+            }
+            ropts.houdiniThreads = size_t(n);
         } else if (match(argv[i], "--exclude-misaligned")) {
             task.excludeMisaligned = true;
         } else if (match(argv[i], "--exclude-oor")) {
@@ -402,12 +442,21 @@ main(int argc, char **argv)
                         .c_str());
     } else {
         std::printf("%s\n", verif::formatResult(result).c_str());
-        if (runner)
+        if (runner) {
             for (const verif::StageOutcome &stage : runner->stages)
-                std::printf("  stage %-24s %-12s depth=%zu %.2fs\n",
+                std::printf("  stage %-24s %-12s depth=%zu %.2fs%s%s\n",
                             stage.name.c_str(),
                             mc::verdictName(stage.verdict), stage.depth,
-                            stage.seconds);
+                            stage.seconds,
+                            stage.winner.empty() ? "" : " winner=",
+                            stage.winner.c_str());
+            if (!runner->winningEngine.empty())
+                std::printf("  winning engine: %s (%llu fact(s) imported"
+                            " across engines)\n",
+                            runner->winningEngine.c_str(),
+                            static_cast<unsigned long long>(
+                                runner->importedFacts));
+        }
         if (!result.attackReport.empty())
             std::printf("%s", result.attackReport.c_str());
     }
