@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Reduction-pipeline ablation over the Table-2 ContractShadow cells:
+ * every cell is solved twice through the resilient runner - once under
+ * the default reduction pipeline (`--passes default`) and once with
+ * reduction off (`--no-reduce`) - and bit-blasted twice at a fixed
+ * unroll depth to compare CNF sizes. Emits BENCH_reduction.json.
+ *
+ * Claims under test (the acceptance bar of the reduction work):
+ *
+ *  - the reduced CNF variable count is strictly below the baseline on
+ *    every cell (the pipeline genuinely shrinks what engines solve, it
+ *    does not just relabel nets);
+ *  - verdicts are identical with and without reduction, and attack
+ *    depths are identical on the hunt cells (reduction is sound modulo
+ *    constraints; witnesses translate back losslessly).
+ *
+ * Any violated claim makes the binary exit non-zero, so the ctest smoke
+ * entry doubles as the verdict-identity regression gate.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bitblast/cnf_builder.h"
+#include "bitblast/unroller.h"
+#include "mc/engine.h"
+#include "rtl/transform/passes.h"
+#include "sat/solver.h"
+#include "shadow/shadow_builder.h"
+#include "verif/runner.h"
+#include "verif/task.h"
+
+using namespace csl;
+
+namespace {
+
+/** Frames bit-blasted for the CNF-size comparison. Fixed and shared by
+ * both sides so the variable counts are directly comparable; deep
+ * enough that per-frame logic dominates the frame-0 init encoding. */
+constexpr size_t kUnrollFrames = 8;
+
+struct Cell
+{
+    const char *name;
+    proc::CoreSpec spec;
+    bool secure;
+};
+
+struct SideReport
+{
+    std::string pipeline;
+    std::string verdict;
+    size_t depth = 0;
+    double solveSeconds = 0;
+    size_t nets = 0;
+    size_t regs = 0;
+    size_t cnfVars = 0;
+};
+
+struct CellReport
+{
+    std::string name;
+    SideReport reduced, baseline;
+    double reductionSeconds = 0;
+};
+
+verif::VerificationTask
+cellTask(const Cell &cell, double budget)
+{
+    verif::VerificationTask task;
+    task.core = cell.spec;
+    task.contract = contract::Contract::Sandboxing;
+    task.scheme = verif::Scheme::ContractShadow;
+    task.timeoutSeconds = budget;
+    if (cell.secure) {
+        task.maxDepth = 24;
+        task.tryProof = true;
+    } else {
+        task.maxDepth = 12;
+        task.tryProof = false;
+        task.assumeSecretsDiffer = true;
+    }
+    return task;
+}
+
+/**
+ * CNF variables after kUnrollFrames time frames. Mirrors what the BMC /
+ * induction engines feed the SAT solver: the property cone (plus the
+ * kept roots) bit-blasted frame by frame.
+ */
+size_t
+cnfVarsOf(const rtl::Circuit &circuit, const std::vector<rtl::NetId> &roots)
+{
+    sat::Solver solver;
+    bitblast::CnfBuilder cnf(solver);
+    bitblast::Unroller unroller(circuit, cnf, false, roots);
+    unroller.ensureFrames(kUnrollFrames);
+    return static_cast<size_t>(solver.numVars());
+}
+
+/** One runner pass over the cell with the given reduction pipeline. */
+SideReport
+solveWith(const verif::VerificationTask &task, const std::string &passes)
+{
+    verif::RunnerOptions ropts;
+    ropts.passes = passes;
+    verif::RunnerResult rr = verif::runResilientVerification(task, ropts);
+    SideReport side;
+    side.pipeline = rr.reductionPipeline;
+    side.verdict = mc::verdictName(rr.result.verdict);
+    side.depth = rr.result.depth;
+    side.solveSeconds = rr.result.seconds;
+    side.nets = rr.reducedNets;
+    side.regs = rr.reducedRegs;
+    return side;
+}
+
+/**
+ * Bit-blast the cell's verification circuit with and without the
+ * default reduction pipeline and fill in the CNF variable counts. The
+ * circuit construction mirrors the runner's ContractShadow path,
+ * including the candidate-invariant roots the proof stages keep alive.
+ */
+void
+measureCnf(const Cell &cell, CellReport &report)
+{
+    rtl::Circuit circuit;
+    shadow::ShadowOptions sopts;
+    sopts.contract = contract::Contract::Sandboxing;
+    sopts.assumeSecretsDiffer = !cell.secure;
+    sopts.emitRelationalCandidates = cell.secure;
+    shadow::ShadowHarness h =
+        shadow::buildShadowCircuit(circuit, cell.spec, sopts);
+
+    std::vector<rtl::NetId> roots = h.relationalCandidates;
+    if (h.quiescentCandidate != rtl::kNoNet)
+        roots.push_back(h.quiescentCandidate);
+
+    report.baseline.cnfVars = cnfVarsOf(circuit, roots);
+
+    rtl::transform::ReductionResult reduction =
+        rtl::transform::PassManager().run(circuit, roots);
+    std::vector<rtl::NetId> reduced_roots;
+    for (rtl::NetId root : roots) {
+        rtl::NetId mapped = reduction.map.mapped(root);
+        if (mapped != rtl::kNoNet)
+            reduced_roots.push_back(mapped);
+    }
+    report.reduced.cnfVars = cnfVarsOf(reduction.circuit, reduced_roots);
+    report.reductionSeconds = reduction.seconds;
+}
+
+std::string
+sideJson(const SideReport &s)
+{
+    std::ostringstream oss;
+    oss << "{\"pipeline\":\"" << s.pipeline << "\",\"verdict\":\""
+        << s.verdict << "\",\"depth\":" << s.depth
+        << ",\"solveSeconds\":" << s.solveSeconds << ",\"nets\":" << s.nets
+        << ",\"regs\":" << s.regs << ",\"cnfVars\":" << s.cnfVars << "}";
+    return oss.str();
+}
+
+std::string
+toJson(const std::vector<CellReport> &cells, double budget)
+{
+    std::ostringstream oss;
+    oss << "{\"budgetSeconds\":" << budget
+        << ",\"unrollFrames\":" << kUnrollFrames << ",\"cells\":[";
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const CellReport &c = cells[i];
+        oss << (i ? "," : "") << "{\"name\":\"" << c.name
+            << "\",\"reduced\":" << sideJson(c.reduced)
+            << ",\"baseline\":" << sideJson(c.baseline)
+            << ",\"reductionSeconds\":" << c.reductionSeconds << "}";
+    }
+    oss << "]}";
+    return oss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double budget = bench::budgetSeconds(argc, argv, 120.0);
+    std::printf("Reduction bench: default pipeline vs --no-reduce on the "
+                "Table-2 ContractShadow cells (budget %.0fs per run, CNF "
+                "at %zu frames)\n",
+                budget, kUnrollFrames);
+
+    std::vector<Cell> cells = {
+        {"Sodor (InOrder, secure)", proc::inOrderSpec(), true},
+        {"SimpleOoO-S (DelaySpectre, secure)",
+         proc::simpleOoOSpec(defense::Defense::DelaySpectre), true},
+        {"SimpleOoO (insecure)",
+         proc::simpleOoOSpec(defense::Defense::None), false},
+        {"RideLite (insecure)",
+         proc::rideLiteSpec(defense::Defense::None), false},
+        {"BoomLike (insecure)",
+         proc::boomLikeSpec(defense::Defense::None), false},
+    };
+
+    std::vector<CellReport> reports;
+    std::vector<std::string> failures;
+    for (const Cell &cell : cells) {
+        bench::banner(cell.name);
+        verif::VerificationTask task = cellTask(cell, budget);
+
+        CellReport report;
+        report.name = cell.name;
+        measureCnf(cell, report);
+
+        SideReport reduced = solveWith(task, "default");
+        SideReport baseline = solveWith(task, "none");
+        // cnfVars came from measureCnf; everything else from the runs.
+        reduced.cnfVars = report.reduced.cnfVars;
+        baseline.cnfVars = report.baseline.cnfVars;
+        report.reduced = reduced;
+        report.baseline = baseline;
+
+        char line[192];
+        std::snprintf(line, sizeof(line),
+                      "%s at depth %zu in %.2fs (%zu nets, %zu CNF vars)",
+                      reduced.verdict.c_str(), reduced.depth,
+                      reduced.solveSeconds, reduced.nets, reduced.cnfVars);
+        bench::row("  reduced", line);
+        std::snprintf(line, sizeof(line),
+                      "%s at depth %zu in %.2fs (%zu nets, %zu CNF vars)",
+                      baseline.verdict.c_str(), baseline.depth,
+                      baseline.solveSeconds, baseline.nets,
+                      baseline.cnfVars);
+        bench::row("  baseline", line);
+
+        if (reduced.cnfVars >= baseline.cnfVars)
+            failures.push_back(report.name +
+                               ": reduced CNF not strictly smaller (" +
+                               std::to_string(reduced.cnfVars) + " vs " +
+                               std::to_string(baseline.cnfVars) + ")");
+        const bool timed_out =
+            reduced.verdict == "TIMEOUT" || baseline.verdict == "TIMEOUT";
+        if (reduced.verdict != baseline.verdict) {
+            if (timed_out)
+                std::printf("  (verdicts differ with a TIMEOUT side - "
+                            "budget too small to compare, not counted "
+                            "as a failure)\n");
+            else
+                failures.push_back(report.name + ": verdict mismatch (" +
+                                   reduced.verdict + " vs " +
+                                   baseline.verdict + ")");
+        } else if (!cell.secure && reduced.verdict == "ATTACK" &&
+                   reduced.depth != baseline.depth) {
+            failures.push_back(
+                report.name + ": attack depth mismatch (" +
+                std::to_string(reduced.depth) + " vs " +
+                std::to_string(baseline.depth) + ")");
+        }
+        reports.push_back(std::move(report));
+    }
+
+    const char *out_path = "BENCH_reduction.json";
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path);
+        return 1;
+    }
+    out << toJson(reports, budget) << "\n";
+    std::printf("\nwrote %s\n", out_path);
+
+    if (!failures.empty()) {
+        for (const std::string &f : failures)
+            std::fprintf(stderr, "FAIL: %s\n", f.c_str());
+        return 1;
+    }
+    std::printf("all cells: reduced CNF strictly smaller, verdicts "
+                "identical\n");
+    return 0;
+}

@@ -13,6 +13,7 @@
 #include "proc/presets.h"
 #include "rtl/builder.h"
 #include "rtl/passes.h"
+#include "rtl/transform/passes.h"
 #include "shadow/shadow_builder.h"
 
 using namespace csl;
@@ -56,6 +57,18 @@ report(const char *name, const char *config, const proc::CoreSpec &spec)
     std::printf("  shadow-logic overhead: ~%ld nets, ~%ld state bits "
                 "(paper: hand-written Verilog, ~90-400 lines)\n",
                 shadow_nets, shadow_bits);
+
+    // What the engines actually solve after the reduction pipeline.
+    rtl::transform::ReductionResult reduction =
+        rtl::transform::PassManager().run(shadow_circuit);
+    rtl::CircuitStats reduced = reduction.circuit.stats();
+    std::printf("  reduced (default passes): %zu nets, %zu registers, "
+                "%zu state bits\n",
+                reduced.nets, reduced.registers, reduced.stateBits);
+    std::printf("  %s\n",
+                rtl::summarize(shadow_circuit, reduction.circuit,
+                               reduction.map)
+                    .c_str());
 }
 
 } // namespace

@@ -1,6 +1,7 @@
 #include "bitblast/unroller.h"
 
 #include "base/logging.h"
+#include "rtl/transform/passes.h"
 
 namespace csl::bitblast {
 
@@ -12,7 +13,7 @@ Unroller::Unroller(const rtl::Circuit &circuit, CnfBuilder &cnf,
                    bool free_initial_state,
                    const std::vector<rtl::NetId> &extra_roots)
     : circuit_(circuit), cnf_(cnf), freeInitialState_(free_initial_state),
-      cone_(circuit.coneOfInfluence(extra_roots))
+      cone_(rtl::transform::propertyCone(circuit, extra_roots))
 {
     // Prepare frame-0 register state.
     nextRegWords_.assign(circuit_.numNets(), {});

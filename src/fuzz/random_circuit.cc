@@ -1,0 +1,242 @@
+#include "fuzz/random_circuit.h"
+
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "base/bits.h"
+
+namespace csl::fuzz {
+
+using rtl::Circuit;
+using rtl::kNoNet;
+using rtl::Net;
+using rtl::NetId;
+using rtl::Op;
+
+namespace {
+
+constexpr uint8_t kWidths[] = {1, 2, 5, 8, 16};
+
+struct Gen
+{
+    Circuit circuit;
+    std::mt19937_64 rng;
+    /** Nets grouped by width, the operand pools. */
+    std::unordered_map<uint8_t, std::vector<NetId>> byWidth;
+
+    explicit Gen(uint64_t seed) : rng(seed) {}
+
+    uint64_t roll(uint64_t bound) { return rng() % bound; }
+
+    NetId track(NetId id)
+    {
+        byWidth[circuit.net(id).width].push_back(id);
+        return id;
+    }
+
+    NetId constant(uint8_t width, uint64_t value)
+    {
+        Net net;
+        net.op = Op::Const;
+        net.width = width;
+        net.imm = truncBits(value, width);
+        return track(circuit.addNet(net));
+    }
+
+    /** A random existing net of @p width (a fresh constant if none). */
+    NetId pick(uint8_t width)
+    {
+        auto &pool = byWidth[width];
+        if (pool.empty())
+            return constant(width, rng());
+        return pool[roll(pool.size())];
+    }
+
+    NetId unary(Op op, uint8_t width, NetId a, uint64_t imm = 0)
+    {
+        Net net;
+        net.op = op;
+        net.width = width;
+        net.a = a;
+        net.imm = imm;
+        return track(circuit.addNet(net));
+    }
+
+    NetId binary(Op op, uint8_t width, NetId a, NetId b)
+    {
+        Net net;
+        net.op = op;
+        net.width = width;
+        net.a = a;
+        net.b = b;
+        return track(circuit.addNet(net));
+    }
+
+    /** Grow one random combinational net. */
+    NetId grow()
+    {
+        const uint8_t width = kWidths[roll(std::size(kWidths))];
+        switch (roll(10)) {
+          case 0:
+            return unary(Op::Not, width, pick(width));
+          case 1:
+            return binary(Op::And, width, pick(width), pick(width));
+          case 2:
+            return binary(Op::Or, width, pick(width), pick(width));
+          case 3:
+            return binary(Op::Xor, width, pick(width), pick(width));
+          case 4:
+            return binary(Op::Add, width, pick(width), pick(width));
+          case 5:
+            return binary(Op::Sub, width, pick(width), pick(width));
+          case 6:
+            return binary(Op::Eq, 1, pick(width), pick(width));
+          case 7:
+            return binary(Op::Ult, 1, pick(width), pick(width));
+          case 8: {
+            Net net;
+            net.op = Op::Mux;
+            net.width = width;
+            net.a = pick(1);
+            net.b = pick(width);
+            net.c = pick(width);
+            return track(circuit.addNet(net));
+          }
+          default: {
+            // Slice out of a wider net when one exists; else a constant.
+            const uint8_t from = 16;
+            if (width < from) {
+                const NetId a = pick(from);
+                return unary(Op::Slice, width, a, roll(from - width + 1));
+            }
+            return constant(width, rng());
+          }
+        }
+    }
+};
+
+} // namespace
+
+Circuit
+randomCircuit(uint64_t seed, const RandomCircuitOptions &options)
+{
+    Gen gen(seed);
+    Circuit &circuit = gen.circuit;
+
+    // Leaves: a couple of literals and the free inputs.
+    gen.constant(1, 1);
+    gen.constant(16, gen.rng());
+    std::vector<NetId> inputs;
+    for (size_t i = 0; i < std::max<size_t>(options.inputs, 1); ++i) {
+        Net net;
+        net.op = Op::Input;
+        net.width = kWidths[gen.roll(std::size(kWidths))];
+        inputs.push_back(gen.track(circuit.addNet(net)));
+        circuit.setName(inputs.back(), "in" + std::to_string(i));
+    }
+
+    // Registers. Roughly half are twin pairs: same width, same concrete
+    // init (or symbolic for the constraint-equated pair), with mirrored
+    // next-state logic wired below - regmerge fodder. A sprinkle of
+    // frozen symbolic registers feeds assume-propagation.
+    struct RegPlan
+    {
+        NetId reg;
+        NetId twin = kNoNet; ///< mirrored partner (plan of twin is shared)
+        bool frozen = false;
+    };
+    std::vector<RegPlan> plans;
+    size_t made = 0;
+    size_t twinPairs = 0;
+    while (made < std::max<size_t>(options.registers, 2)) {
+        const uint8_t width = kWidths[gen.roll(std::size(kWidths))];
+        const bool pair = made + 1 < std::max<size_t>(options.registers, 2) &&
+                          gen.roll(2) == 0;
+        Net net;
+        net.op = Op::Reg;
+        net.width = width;
+        // The first twin pair under constraints is symbolic so the
+        // equality assumption (not the init values) is what merges it.
+        const bool symbolicPair =
+            pair && options.withConstraints && twinPairs == 0;
+        net.symbolicInit = symbolicPair || (!pair && gen.roll(2) == 0);
+        net.imm = net.symbolicInit ? 0 : truncBits(gen.rng(), width);
+        RegPlan plan;
+        plan.reg = gen.track(circuit.addNet(net));
+        plan.frozen = !pair && net.symbolicInit && gen.roll(3) == 0;
+        circuit.setName(plan.reg, "r" + std::to_string(made));
+        ++made;
+        if (pair) {
+            plan.twin = gen.track(circuit.addNet(net));
+            circuit.setName(plan.twin, "r" + std::to_string(made) + "_twin");
+            ++made;
+            ++twinPairs;
+        }
+        plans.push_back(plan);
+    }
+
+    // Combinational fabric, with occasional verbatim duplicates (the
+    // structural-hashing fodder a Builder would have consed away).
+    std::vector<NetId> comb;
+    for (size_t i = 0; i < options.combNets; ++i) {
+        if (!comb.empty() && gen.roll(5) == 0) {
+            const Net dup = circuit.net(comb[gen.roll(comb.size())]);
+            comb.push_back(gen.track(circuit.addNet(dup)));
+            continue;
+        }
+        comb.push_back(gen.grow());
+    }
+
+    // Register next-states. Twins get mirrored logic: op(reg, shared)
+    // for each copy, so only optimistic refinement can merge them.
+    for (const RegPlan &plan : plans) {
+        const Net &reg = circuit.net(plan.reg);
+        if (plan.frozen) {
+            circuit.connectReg(plan.reg, plan.reg);
+            continue;
+        }
+        if (plan.twin == kNoNet) {
+            circuit.connectReg(plan.reg, gen.pick(reg.width));
+            continue;
+        }
+        const NetId shared = gen.pick(reg.width);
+        const Op op = gen.roll(2) == 0 ? Op::Add : Op::Xor;
+        circuit.connectReg(plan.reg,
+                           gen.binary(op, reg.width, plan.reg, shared));
+        circuit.connectReg(plan.twin,
+                           gen.binary(op, reg.width, plan.twin, shared));
+    }
+
+    // Bad nets: comparisons keep them input/state-dependent most seeds.
+    for (size_t i = 0; i < std::max<size_t>(options.bads, 1); ++i) {
+        const uint8_t width = kWidths[gen.roll(std::size(kWidths))];
+        const NetId bad = gen.binary(gen.roll(2) == 0 ? Op::Eq : Op::Ult, 1,
+                                     gen.pick(width), gen.pick(width));
+        circuit.setName(bad, "bad" + std::to_string(i));
+        circuit.addBad(bad);
+    }
+
+    if (options.withConstraints) {
+        // Pin one input to a literal (assume-propagation target).
+        const NetId pinned = inputs[gen.roll(inputs.size())];
+        const uint8_t width = circuit.net(pinned).width;
+        circuit.addConstraint(gen.binary(
+            Op::Eq, 1, pinned, gen.constant(width, gen.rng())));
+        // Equate the symbolic twin pair from the initial state.
+        for (const RegPlan &plan : plans) {
+            if (plan.twin != kNoNet && circuit.net(plan.reg).symbolicInit) {
+                circuit.addInitConstraint(
+                    gen.binary(Op::Eq, 1, plan.reg, plan.twin));
+                break;
+            }
+        }
+        // And one opaque 1-bit assumption the passes cannot decompose.
+        circuit.addConstraint(gen.pick(1));
+    }
+
+    circuit.finalize();
+    return circuit;
+}
+
+} // namespace csl::fuzz

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Seeded random Circuit generation for property-based testing of the
+ * reduction pipeline (rtl/transform). The generator deliberately emits
+ * the redundancy the passes exist to remove: verbatim-duplicated
+ * combinational nets (the Builder would have hash-consed them; raw
+ * Circuit::addNet does not), twin register pairs with mirrored
+ * next-state logic, frozen symbolic registers, and - optionally -
+ * assumptions that pin inputs and equate twin registers. Every produced
+ * circuit is valid and finalized, so it can go straight into the
+ * simulator, the pass pipeline or a model checker.
+ */
+
+#ifndef CSL_FUZZ_RANDOM_CIRCUIT_H_
+#define CSL_FUZZ_RANDOM_CIRCUIT_H_
+
+#include <cstdint>
+
+#include "rtl/circuit.h"
+
+namespace csl::fuzz {
+
+/** Knobs for randomCircuit(). */
+struct RandomCircuitOptions
+{
+    /** Combinational nets to grow on top of the leaves. */
+    size_t combNets = 80;
+    /** Register count (twin pairs count as two). */
+    size_t registers = 8;
+    /** Free primary inputs. */
+    size_t inputs = 4;
+    /** Bad-state nets to emit (at least one). */
+    size_t bads = 2;
+    /**
+     * Emit environment assumptions: an input pinned to a literal, a
+     * twin-register equality, and a random 1-bit net (every-cycle), plus
+     * an init-only assumption. Exercises assume-propagation and the
+     * constraint-aware soundness rules.
+     */
+    bool withConstraints = false;
+};
+
+/** Deterministically generate a finalized random circuit from @p seed. */
+rtl::Circuit randomCircuit(uint64_t seed,
+                           const RandomCircuitOptions &options = {});
+
+} // namespace csl::fuzz
+
+#endif // CSL_FUZZ_RANDOM_CIRCUIT_H_

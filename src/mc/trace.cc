@@ -51,6 +51,42 @@ replayTrace(const rtl::Circuit &circuit, const Trace &trace)
     return result;
 }
 
+Trace
+translateTrace(const rtl::Circuit &original,
+               const rtl::transform::NetMap &map, const Trace &reduced)
+{
+    Trace trace;
+    trace.length = reduced.length;
+    for (NetId reg : original.registers()) {
+        if (auto value = map.constantOf(reg)) {
+            trace.initialRegs[reg] = *value;
+            continue;
+        }
+        const NetId mapped = map.mapped(reg);
+        if (mapped == rtl::kNoNet)
+            continue;
+        auto it = reduced.initialRegs.find(mapped);
+        if (it != reduced.initialRegs.end())
+            trace.initialRegs[reg] = it->second;
+    }
+    trace.inputs.resize(reduced.length);
+    for (size_t f = 0; f < reduced.length; ++f) {
+        for (NetId in : original.inputs()) {
+            if (auto value = map.constantOf(in)) {
+                trace.inputs[f][in] = *value;
+                continue;
+            }
+            const NetId mapped = map.mapped(in);
+            if (mapped == rtl::kNoNet)
+                continue;
+            auto it = reduced.inputs[f].find(mapped);
+            if (it != reduced.inputs[f].end())
+                trace.inputs[f][in] = it->second;
+        }
+    }
+    return trace;
+}
+
 std::string
 formatTrace(const rtl::Circuit &circuit, const Trace &trace,
             const std::vector<NetId> &nets)

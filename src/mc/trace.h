@@ -14,6 +14,7 @@
 
 #include "bitblast/unroller.h"
 #include "rtl/circuit.h"
+#include "rtl/transform/netmap.h"
 
 namespace csl::mc {
 
@@ -43,6 +44,20 @@ struct ReplayResult
 
 /** Replay @p trace; used to cross-check SAT models against simulation. */
 ReplayResult replayTrace(const rtl::Circuit &circuit, const Trace &trace);
+
+/**
+ * Translate a trace found on a *reduced* circuit back to the original
+ * one through the reduction @p map: each original register picks up the
+ * value of its reduced counterpart (merged twins share one source),
+ * propagated-away nets are restored from the constants the pipeline
+ * proved, and nets the map dropped stay unset - they lie outside every
+ * property cone, so the replay verdict cannot depend on them. The
+ * result replays on the original circuit, which is what keeps the
+ * witness self-audit and VCD dumps honest under reduction.
+ */
+Trace translateTrace(const rtl::Circuit &original,
+                     const rtl::transform::NetMap &map,
+                     const Trace &reduced);
 
 /**
  * Render the values of the named nets cycle-by-cycle (nets with

@@ -1,7 +1,7 @@
-#include <deque>
 #include <sstream>
 
 #include "rtl/analysis/analysis.h"
+#include "rtl/transform/passes.h"
 
 namespace csl::rtl::analysis {
 
@@ -14,10 +14,9 @@ inRange(const Circuit &circuit, NetId id)
 }
 
 /**
- * BFS cone of @p root (through register next-state backedges), counting
- * the nondeterminism sources inside it: free inputs and symbolic-init
- * registers. Tolerant of malformed circuits (out-of-range operands are
- * skipped; structural lint reports those).
+ * Cone of @p root (via the shared transform::coneOfInfluence BFS, which
+ * is tolerant of malformed circuits), counting the nondeterminism
+ * sources inside it: free inputs and symbolic-init registers.
  */
 struct ConeFacts
 {
@@ -32,36 +31,17 @@ coneFacts(const Circuit &circuit, NetId root)
     ConeFacts facts;
     if (!inRange(circuit, root))
         return facts;
-    std::vector<bool> marked(circuit.numNets(), false);
-    std::deque<NetId> queue;
-    marked[root] = true;
-    queue.push_back(root);
-    while (!queue.empty()) {
-        NetId id = queue.front();
-        queue.pop_front();
+    const std::vector<bool> marked =
+        transform::coneOfInfluence(circuit, {root});
+    for (NetId id = 0; id < NetId(circuit.numNets()); ++id) {
+        if (!marked[id])
+            continue;
         ++facts.nets;
         const Net &net = circuit.net(id);
         if (net.op == Op::Input)
             ++facts.inputs;
         if (net.op == Op::Reg && net.symbolicInit)
             ++facts.symbolicRegs;
-        auto push = [&](NetId operand) {
-            if (inRange(circuit, operand) && !marked[operand]) {
-                marked[operand] = true;
-                queue.push_back(operand);
-            }
-        };
-        if (net.op == Op::Reg) {
-            push(net.a);
-            continue;
-        }
-        const int arity = opArity(net.op);
-        if (arity >= 1)
-            push(net.a);
-        if (arity >= 2)
-            push(net.b);
-        if (arity >= 3)
-            push(net.c);
     }
     return facts;
 }
@@ -73,35 +53,7 @@ inCone(const Circuit &circuit, NetId root, NetId target)
 {
     if (!inRange(circuit, root) || !inRange(circuit, target))
         return false;
-    std::vector<bool> marked(circuit.numNets(), false);
-    std::deque<NetId> queue;
-    marked[root] = true;
-    queue.push_back(root);
-    while (!queue.empty()) {
-        NetId id = queue.front();
-        queue.pop_front();
-        if (id == target)
-            return true;
-        const Net &net = circuit.net(id);
-        auto push = [&](NetId operand) {
-            if (inRange(circuit, operand) && !marked[operand]) {
-                marked[operand] = true;
-                queue.push_back(operand);
-            }
-        };
-        if (net.op == Op::Reg) {
-            push(net.a);
-            continue;
-        }
-        const int arity = opArity(net.op);
-        if (arity >= 1)
-            push(net.a);
-        if (arity >= 2)
-            push(net.b);
-        if (arity >= 3)
-            push(net.c);
-    }
-    return false;
+    return transform::coneOfInfluence(circuit, {root})[target];
 }
 
 void

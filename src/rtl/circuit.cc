@@ -1,10 +1,9 @@
 #include "rtl/circuit.h"
 
-#include <deque>
-
 #include "base/bits.h"
 #include "base/logging.h"
 #include "rtl/analysis/analysis.h"
+#include "rtl/transform/passes.h"
 
 namespace csl::rtl {
 
@@ -193,39 +192,7 @@ Circuit::stats() const
 std::vector<bool>
 Circuit::coneOfInfluence(const std::vector<NetId> &extra_roots) const
 {
-    std::vector<bool> marked(nets_.size(), false);
-    std::deque<NetId> queue;
-    auto push = [&](NetId id) {
-        if (id != kNoNet && !marked[id]) {
-            marked[id] = true;
-            queue.push_back(id);
-        }
-    };
-    for (NetId id : constraints_)
-        push(id);
-    for (NetId id : initConstraints_)
-        push(id);
-    for (NetId id : bads_)
-        push(id);
-    for (NetId id : extra_roots)
-        push(id);
-    while (!queue.empty()) {
-        NetId id = queue.front();
-        queue.pop_front();
-        const Net &n = nets_[id];
-        if (n.op == Op::Reg) {
-            push(n.a); // next-state logic
-            continue;
-        }
-        const int arity = opArity(n.op);
-        if (arity >= 1)
-            push(n.a);
-        if (arity >= 2)
-            push(n.b);
-        if (arity >= 3)
-            push(n.c);
-    }
-    return marked;
+    return transform::propertyCone(*this, extra_roots);
 }
 
 void

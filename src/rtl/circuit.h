@@ -67,6 +67,9 @@ class Circuit
     /** Name of @p net, or a generated placeholder. */
     std::string name(NetId net) const;
 
+    /** True when @p net carries an explicit (non-generated) name. */
+    bool hasName(NetId net) const { return names_.count(net) != 0; }
+
     /** Look up a net id by exact name; kNoNet when absent. */
     NetId findByName(const std::string &name) const;
 
@@ -98,7 +101,9 @@ class Circuit
     /**
      * Mark the nets in the cone of influence of the given roots (all
      * constraints, init constraints and bads plus @p extra_roots).
-     * Returns a bitmap indexed by NetId.
+     * Returns a bitmap indexed by NetId. Convenience wrapper over
+     * transform::propertyCone() - the one COI computation everything
+     * shares.
      */
     std::vector<bool> coneOfInfluence(
         const std::vector<NetId> &extra_roots = {}) const;

@@ -41,6 +41,26 @@ dumpCircuit(const Circuit &circuit, std::ostream &os)
     os << "\n";
 }
 
+void
+dumpCircuit(const Circuit &circuit, const transform::NetMap &map,
+            std::ostream &os)
+{
+    dumpCircuit(circuit, os);
+    os << "reduction fates:\n";
+    for (NetId id = 0; id < static_cast<NetId>(circuit.numNets()); ++id) {
+        if (static_cast<size_t>(id) >= map.originalNets())
+            break;
+        os << id << ": ";
+        if (auto value = map.constantOf(id))
+            os << "const " << *value;
+        else if (map.mapped(id) == kNoNet)
+            os << "dropped";
+        else
+            os << "-> " << map.mapped(id);
+        os << "  // " << circuit.name(id) << "\n";
+    }
+}
+
 std::string
 summarize(const Circuit &circuit)
 {
@@ -50,6 +70,18 @@ summarize(const Circuit &circuit)
         << " stateBits=" << s.stateBits << " inputs=" << s.inputs
         << " inputBits=" << s.inputBits << " constraints=" << s.constraints
         << " bads=" << s.bads << " cone=" << coneSize(circuit);
+    return oss.str();
+}
+
+std::string
+summarize(const Circuit &original, const Circuit &reduced,
+          const transform::NetMap &map)
+{
+    std::ostringstream oss;
+    oss << summarize(original) << " | reduced: " << summarize(reduced)
+        << " | map: merged=" << map.mergedCount()
+        << " const=" << map.constantCount()
+        << " dropped=" << map.droppedCount();
     return oss.str();
 }
 

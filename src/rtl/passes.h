@@ -1,9 +1,10 @@
 /**
  * @file
- * Analysis/reporting passes over Circuits: textual dump and cone-of-
- * influence statistics. Structural rewriting happens on the fly inside
- * the Builder (constant folding, hash-consing), so the pass layer stays
- * read-only.
+ * Reporting passes over Circuits: textual dump and cone-of-influence
+ * statistics. This layer stays read-only; structural *rewriting* lives
+ * in rtl/transform (the reduction pipeline), and the NetMap-aware
+ * overloads here report what the solver actually saw next to what the
+ * builders produced, so inventory numbers stay honest under reduction.
  */
 
 #ifndef CSL_RTL_PASSES_H_
@@ -13,14 +14,28 @@
 #include <string>
 
 #include "rtl/circuit.h"
+#include "rtl/transform/netmap.h"
 
 namespace csl::rtl {
 
 /** Print a human-readable net list (for debugging small circuits). */
 void dumpCircuit(const Circuit &circuit, std::ostream &os);
 
+/** dumpCircuit() plus a per-net reduction fate trailer (merged into,
+ * proven constant, or dropped) from @p map. */
+void dumpCircuit(const Circuit &circuit, const transform::NetMap &map,
+                 std::ostream &os);
+
 /** One-line summary such as "nets=1234 regs=56 stateBits=789 ...". */
 std::string summarize(const Circuit &circuit);
+
+/**
+ * Two-sided summary of @p original and the @p reduced circuit it was
+ * rewritten into: original stats, reduced stats, and the NetMap's
+ * merged/constant/dropped counts.
+ */
+std::string summarize(const Circuit &original, const Circuit &reduced,
+                      const transform::NetMap &map);
 
 /** Number of nets inside the property cone of influence. */
 size_t coneSize(const Circuit &circuit);

@@ -1,0 +1,60 @@
+#include <deque>
+
+#include "rtl/transform/passes.h"
+
+namespace csl::rtl::transform {
+
+std::vector<bool>
+coneOfInfluence(const Circuit &circuit, const std::vector<NetId> &roots)
+{
+    const size_t count = circuit.numNets();
+    std::vector<bool> marked(count, false);
+    std::deque<NetId> queue;
+    auto push = [&](NetId id) {
+        // Tolerate out-of-range operands: this helper also backs the
+        // lint passes, which run on unfinalized/malformed circuits.
+        if (id < 0 || static_cast<size_t>(id) >= count)
+            return;
+        if (!marked[id]) {
+            marked[id] = true;
+            queue.push_back(id);
+        }
+    };
+    for (NetId id : roots)
+        push(id);
+    while (!queue.empty()) {
+        const NetId id = queue.front();
+        queue.pop_front();
+        const Net &net = circuit.net(id);
+        if (net.op == Op::Reg) {
+            push(net.a); // next-state back-edge
+            continue;
+        }
+        const int arity = opArity(net.op);
+        if (arity >= 1)
+            push(net.a);
+        if (arity >= 2)
+            push(net.b);
+        if (arity >= 3)
+            push(net.c);
+    }
+    return marked;
+}
+
+std::vector<bool>
+propertyCone(const Circuit &circuit, const std::vector<NetId> &extra_roots)
+{
+    std::vector<NetId> roots;
+    roots.reserve(circuit.constraints().size() +
+                  circuit.initConstraints().size() + circuit.bads().size() +
+                  extra_roots.size());
+    roots.insert(roots.end(), circuit.constraints().begin(),
+                 circuit.constraints().end());
+    roots.insert(roots.end(), circuit.initConstraints().begin(),
+                 circuit.initConstraints().end());
+    roots.insert(roots.end(), circuit.bads().begin(), circuit.bads().end());
+    roots.insert(roots.end(), extra_roots.begin(), extra_roots.end());
+    return coneOfInfluence(circuit, roots);
+}
+
+} // namespace csl::rtl::transform

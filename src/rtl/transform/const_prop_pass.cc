@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Global constant propagation with constraint-aware assume-propagation.
+ *
+ * Two constant sources combine into one substitution per round:
+ *
+ *  1. analysis::foldConstants() - the optimistic sequential fixpoint,
+ *     sound without looking at constraints at all.
+ *  2. Assume-propagation: decomposing every-cycle assumptions (and
+ *     init-only assumptions) into forced literals. A forced value may
+ *     only substitute a net whose value the environment fully owns and
+ *     cannot change later:
+ *       - a free Input forced by an every-cycle assumption (the input is
+ *         re-forced each cycle), or
+ *       - a "frozen" symbolic-init register - one whose next-state is
+ *         structurally itself - forced by any assumption (its initial
+ *         value persists forever, so a single forced cycle pins it).
+ *     Substituting any other register would be unsound: the assumption
+ *     constrains the *reachable* executions, not the transition
+ *     function, and the witness self-audit replays the transition
+ *     function.
+ *
+ * Forced values are recorded in the NetMap as proven constants, which is
+ * how witness back-mapping reconstructs the stimulus for
+ * propagated-away inputs. Conflicting forced values mean the assumption
+ * set is unsatisfiable; propagation then backs off entirely and leaves
+ * the vacuity for the solver (and vacuityLint) to surface.
+ */
+
+#include <unordered_map>
+
+#include "base/bits.h"
+#include "rtl/analysis/analysis.h"
+#include "rtl/transform/rewrite.h"
+
+namespace csl::rtl::transform {
+
+namespace {
+
+struct ForcedLiterals
+{
+    /** Forced values for free inputs and frozen symbolic registers. */
+    std::unordered_map<NetId, uint64_t> values;
+    bool conflict = false;
+};
+
+void
+force(const Circuit &in, NetId id, uint64_t value, bool every_cycle,
+      ForcedLiterals &out, int depth)
+{
+    if (depth > 64 || id < 0 || static_cast<size_t>(id) >= in.numNets())
+        return;
+    const Net &net = in.net(id);
+    value = truncBits(value, net.width);
+    const uint64_t full = maskBits(net.width);
+    auto literal = [&](NetId x) -> std::optional<uint64_t> {
+        if (x >= 0 && static_cast<size_t>(x) < in.numNets() &&
+            in.net(x).op == Op::Const)
+            return truncBits(in.net(x).imm, in.net(x).width);
+        return std::nullopt;
+    };
+    auto record = [&](uint64_t v) {
+        auto [it, inserted] = out.values.emplace(id, v);
+        if (!inserted && it->second != v)
+            out.conflict = true;
+    };
+    switch (net.op) {
+      case Op::And:
+        if (value == full) {
+            force(in, net.a, full, every_cycle, out, depth + 1);
+            force(in, net.b, full, every_cycle, out, depth + 1);
+        }
+        break;
+      case Op::Or:
+        if (value == 0) {
+            force(in, net.a, 0, every_cycle, out, depth + 1);
+            force(in, net.b, 0, every_cycle, out, depth + 1);
+        }
+        break;
+      case Op::Not:
+        force(in, net.a, ~value, every_cycle, out, depth + 1);
+        break;
+      case Op::Xor:
+        if (auto k = literal(net.a))
+            force(in, net.b, value ^ *k, every_cycle, out, depth + 1);
+        else if (auto k = literal(net.b))
+            force(in, net.a, value ^ *k, every_cycle, out, depth + 1);
+        break;
+      case Op::Eq:
+        if (value == 1) {
+            if (auto k = literal(net.a))
+                force(in, net.b, *k, every_cycle, out, depth + 1);
+            else if (auto k = literal(net.b))
+                force(in, net.a, *k, every_cycle, out, depth + 1);
+        } else if (in.net(net.a).width == 1) {
+            // 1-bit disequality pins the free side to the complement.
+            if (auto k = literal(net.a))
+                force(in, net.b, !*k, every_cycle, out, depth + 1);
+            else if (auto k = literal(net.b))
+                force(in, net.a, !*k, every_cycle, out, depth + 1);
+        }
+        break;
+      case Op::Input:
+        if (every_cycle)
+            record(value);
+        break;
+      case Op::Reg:
+        // Frozen symbolic register: next-state is structurally itself,
+        // so its (free) initial value persists and one forced cycle -
+        // even the initial one - pins it for good.
+        if (net.symbolicInit && net.a == id)
+            record(value);
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace
+
+Substitution
+constPropSubstitution(const Circuit &in)
+{
+    const size_t count = in.numNets();
+    Substitution sub(count);
+
+    const auto folded = analysis::foldConstants(in);
+
+    ForcedLiterals forced;
+    for (NetId id : in.constraints())
+        force(in, id, 1, /*every_cycle=*/true, forced, 0);
+    for (NetId id : in.initConstraints())
+        force(in, id, 1, /*every_cycle=*/false, forced, 0);
+
+    for (NetId id = 0; id < NetId(count); ++id) {
+        if (in.net(id).op == Op::Const)
+            continue; // already a literal; nothing to gain
+        if (folded[id]) {
+            sub.constant[id] = *folded[id];
+            continue;
+        }
+        if (forced.conflict)
+            continue;
+        auto it = forced.values.find(id);
+        if (it != forced.values.end())
+            sub.constant[id] = it->second;
+    }
+    return sub;
+}
+
+} // namespace csl::rtl::transform

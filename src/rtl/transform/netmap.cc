@@ -1,0 +1,112 @@
+#include "rtl/transform/netmap.h"
+
+#include "base/logging.h"
+
+namespace csl::rtl::transform {
+
+NetMap
+NetMap::identity(size_t nets)
+{
+    NetMap map;
+    map.resize(nets, nets);
+    for (size_t i = 0; i < nets; ++i)
+        map.fwd_[i] = NetId(i);
+    return map;
+}
+
+NetId
+NetMap::mapped(NetId orig) const
+{
+    csl_assert(orig >= 0 && size_t(orig) < fwd_.size(),
+               "NetMap: original net ", orig, " out of range");
+    return fwd_[orig];
+}
+
+std::optional<uint64_t>
+NetMap::constantOf(NetId orig) const
+{
+    csl_assert(orig >= 0 && size_t(orig) < constant_.size(),
+               "NetMap: original net ", orig, " out of range");
+    return constant_[orig];
+}
+
+bool
+NetMap::isIdentity() const
+{
+    if (fwd_.size() != reducedNets_)
+        return false;
+    for (size_t i = 0; i < fwd_.size(); ++i)
+        if (fwd_[i] != NetId(i) || constant_[i])
+            return false;
+    return true;
+}
+
+size_t
+NetMap::mergedCount() const
+{
+    std::vector<uint8_t> hits(reducedNets_, 0);
+    for (NetId to : fwd_)
+        if (to != kNoNet && hits[to] < 2)
+            ++hits[to];
+    size_t merged = 0;
+    for (NetId to : fwd_)
+        if (to != kNoNet && hits[to] > 1)
+            ++merged;
+    return merged;
+}
+
+size_t
+NetMap::constantCount() const
+{
+    size_t count = 0;
+    for (const auto &c : constant_)
+        count += c.has_value();
+    return count;
+}
+
+size_t
+NetMap::droppedCount() const
+{
+    size_t count = 0;
+    for (size_t i = 0; i < fwd_.size(); ++i)
+        count += fwd_[i] == kNoNet && !constant_[i];
+    return count;
+}
+
+NetMap
+NetMap::compose(const NetMap &first, const NetMap &second)
+{
+    csl_assert(first.reducedNets() == second.originalNets(),
+               "NetMap composition mismatch: ", first.reducedNets(),
+               " mid nets vs ", second.originalNets());
+    NetMap out;
+    out.resize(first.originalNets(), second.reducedNets());
+    for (size_t i = 0; i < first.originalNets(); ++i) {
+        const NetId orig = NetId(i);
+        const NetId mid = first.fwd_[i];
+        if (first.constant_[i])
+            out.constant_[i] = first.constant_[i];
+        if (mid == kNoNet)
+            continue;
+        out.fwd_[i] = second.fwd_[mid];
+        if (!out.constant_[i] && second.constant_[mid])
+            out.constant_[i] = second.constant_[mid];
+    }
+    return out;
+}
+
+void
+NetMap::resize(size_t original_nets, size_t reduced_nets)
+{
+    fwd_.assign(original_nets, kNoNet);
+    constant_.assign(original_nets, std::nullopt);
+    reducedNets_ = reduced_nets;
+}
+
+void
+NetMap::setConstant(NetId orig, uint64_t value)
+{
+    constant_[orig] = value;
+}
+
+} // namespace csl::rtl::transform

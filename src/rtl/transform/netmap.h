@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The remap artifact a reduction pipeline produces alongside the reduced
+ * Circuit (DESIGN.md "Reduction pipeline").
+ *
+ * Every rewriting pass shrinks the netlist by substituting nets with
+ * representatives (structural hashing, register merging), with constants
+ * (constant and assume propagation) or by dropping them outright
+ * (cone-of-influence pruning, dead-net sweep). The NetMap records, for
+ * every net of the *original* circuit, where it went:
+ *
+ *  - a net id in the reduced circuit (possibly shared with other
+ *    original nets - the merged-net witness),
+ *  - a known constant value the pipeline proved the net holds in every
+ *    cycle of every constraint-satisfying execution, or
+ *  - nothing (the dropped-cone record: the net cannot influence any
+ *    assumption or assertion and carries no witness information).
+ *
+ * The map is what makes reduction transparent to the rest of the stack:
+ * counterexample traces found on the reduced circuit are translated back
+ * through it (mc::translateTrace) so the witness self-audit replays on
+ * the original netlist, VCD dumps keep original names, and diagnostics
+ * keep reporting in original-net terms.
+ */
+
+#ifndef CSL_RTL_TRANSFORM_NETMAP_H_
+#define CSL_RTL_TRANSFORM_NETMAP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rtl/net.h"
+
+namespace csl::rtl::transform {
+
+/** Original-to-reduced net correspondence (see file comment). */
+class NetMap
+{
+  public:
+    NetMap() = default;
+
+    /** The identity map over @p nets nets (an empty pipeline). */
+    static NetMap identity(size_t nets);
+
+    /** Number of nets in the original (domain) circuit. */
+    size_t originalNets() const { return fwd_.size(); }
+
+    /** Number of nets in the reduced (codomain) circuit. */
+    size_t reducedNets() const { return reducedNets_; }
+
+    /**
+     * Reduced net standing for original net @p orig; kNoNet when the
+     * net was dropped or exists only as a known constant.
+     */
+    NetId mapped(NetId orig) const;
+
+    /**
+     * Constant value the pipeline proved @p orig holds in every cycle
+     * of every constraint-satisfying execution; nullopt otherwise.
+     * Used by witness back-mapping to reconstruct the values of
+     * propagated-away inputs and registers.
+     */
+    std::optional<uint64_t> constantOf(NetId orig) const;
+
+    /** True when the original net carries no reduced counterpart and no
+     * constant - it lies outside every property cone. */
+    bool dropped(NetId orig) const
+    {
+        return mapped(orig) == kNoNet && !constantOf(orig);
+    }
+
+    /** True when every net maps to itself with no constants. */
+    bool isIdentity() const;
+
+    /** Original nets sharing a reduced counterpart with another net. */
+    size_t mergedCount() const;
+
+    /** Original nets replaced by a proven constant. */
+    size_t constantCount() const;
+
+    /** Original nets with no reduced counterpart at all. */
+    size_t droppedCount() const;
+
+    /**
+     * Compose two stages: @p first maps original->mid, @p second maps
+     * mid->reduced; the result maps original->reduced. Constants
+     * established by either stage survive (a mid-level constant is a
+     * fact about the original net it stands for).
+     */
+    static NetMap compose(const NetMap &first, const NetMap &second);
+
+    // --- Construction (used by the pass machinery) -----------------------
+
+    void resize(size_t original_nets, size_t reduced_nets);
+    void setMapped(NetId orig, NetId reduced) { fwd_[orig] = reduced; }
+    void setConstant(NetId orig, uint64_t value);
+
+  private:
+    std::vector<NetId> fwd_; ///< original -> reduced, kNoNet = none
+    std::vector<std::optional<uint64_t>> constant_;
+    size_t reducedNets_ = 0;
+};
+
+} // namespace csl::rtl::transform
+
+#endif // CSL_RTL_TRANSFORM_NETMAP_H_

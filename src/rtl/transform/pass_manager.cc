@@ -1,0 +1,190 @@
+#include "rtl/transform/passes.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "base/logging.h"
+#include "rtl/transform/rewrite.h"
+
+namespace csl::rtl::transform {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string
+trimmed(const std::string &s)
+{
+    size_t begin = s.find_first_not_of(" \t");
+    size_t end = s.find_last_not_of(" \t");
+    if (begin == std::string::npos)
+        return "";
+    return s.substr(begin, end - begin + 1);
+}
+
+} // namespace
+
+const std::vector<std::string> &
+PassManager::defaultPasses()
+{
+    // constprop first (cheap, feeds literals to everything), hashing
+    // before merging (smaller refinement input), hashing again after
+    // merging (Eq(R, R) and friends only appear once twins collapse),
+    // then prune. dce is subsumed by coi here but kept so the default
+    // list names every cleanup that ran.
+    static const std::vector<std::string> kDefault = {
+        "constprop", "structhash", "regmerge",
+        "structhash", "coi",        "dce",
+    };
+    return kDefault;
+}
+
+const std::vector<std::string> &
+PassManager::knownPasses()
+{
+    static const std::vector<std::string> kKnown = {
+        "constprop", "structhash", "regmerge", "coi", "dce",
+    };
+    return kKnown;
+}
+
+std::optional<std::vector<std::string>>
+PassManager::parsePipeline(const std::string &pipeline)
+{
+    const std::string spec = trimmed(pipeline);
+    if (spec.empty() || spec == "default")
+        return defaultPasses();
+    if (spec == "none")
+        return std::vector<std::string>{};
+
+    std::vector<std::string> passes;
+    std::stringstream stream(spec);
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+        item = trimmed(item);
+        if (item.empty())
+            continue;
+        if (item == "default") {
+            const auto &def = defaultPasses();
+            passes.insert(passes.end(), def.begin(), def.end());
+            continue;
+        }
+        const auto &known = knownPasses();
+        if (std::find(known.begin(), known.end(), item) == known.end())
+            return std::nullopt; // unknown pass ("none" mixed in, typos)
+        passes.push_back(item);
+    }
+    return passes;
+}
+
+PassManager::PassManager(const std::string &pipeline)
+{
+    auto parsed = parsePipeline(pipeline);
+    csl_assert(parsed.has_value(), "unknown reduction pass in pipeline '",
+               pipeline, "'");
+    passes_ = std::move(*parsed);
+}
+
+std::string
+PassManager::normalized() const
+{
+    std::string out;
+    for (const std::string &name : passes_) {
+        if (!out.empty())
+            out += ',';
+        out += name;
+    }
+    return out;
+}
+
+ReductionResult
+PassManager::run(const Circuit &original,
+                 const std::vector<NetId> &extra_roots) const
+{
+    csl_assert(original.finalized(),
+               "reduction requires a finalized circuit");
+    const auto start = Clock::now();
+
+    ReductionResult result;
+    result.pipeline = normalized();
+    result.map = NetMap::identity(original.numNets());
+
+    Circuit work;
+    const Circuit *cur = &original;
+    std::vector<NetId> roots = extra_roots;
+
+    auto applyRebuild = [&](const Substitution &sub, bool keep_all_state) {
+        RebuildOptions options;
+        options.roots = roots;
+        options.keepAllState = keep_all_state;
+        Circuit next;
+        NetMap stage = rebuildCircuit(*cur, sub, options, next);
+        std::vector<NetId> mappedRoots;
+        for (NetId root : roots)
+            if (NetId m = stage.mapped(root); m != kNoNet)
+                mappedRoots.push_back(m);
+        roots = std::move(mappedRoots);
+        result.map = NetMap::compose(result.map, stage);
+        work = std::move(next);
+        cur = &work;
+    };
+
+    for (const std::string &name : passes_) {
+        const auto passStart = Clock::now();
+        PassStats stats;
+        stats.name = name;
+        stats.netsBefore = cur->numNets();
+        stats.regsBefore = cur->registers().size();
+
+        if (name == "constprop") {
+            // Each round's rebuild turns proven values into Const nets,
+            // which can force further literals (Eq against a fresh
+            // constant); iterate to the fixed point.
+            for (int round = 0; round < 8; ++round) {
+                Substitution sub = constPropSubstitution(*cur);
+                if (sub.trivial())
+                    break;
+                applyRebuild(sub, /*keep_all_state=*/true);
+            }
+        } else if (name == "structhash") {
+            Substitution sub = structHashSubstitution(*cur);
+            if (!sub.trivial())
+                applyRebuild(sub, /*keep_all_state=*/true);
+        } else if (name == "regmerge") {
+            Substitution sub = regMergeSubstitution(*cur);
+            if (!sub.trivial())
+                applyRebuild(sub, /*keep_all_state=*/true);
+        } else if (name == "coi") {
+            applyRebuild(Substitution(cur->numNets()),
+                         /*keep_all_state=*/false);
+        } else if (name == "dce") {
+            applyRebuild(Substitution(cur->numNets()),
+                         /*keep_all_state=*/true);
+        } else {
+            csl_panic("unknown reduction pass '", name, "'");
+        }
+
+        stats.netsAfter = cur->numNets();
+        stats.regsAfter = cur->registers().size();
+        stats.seconds = secondsSince(passStart);
+        result.passes.push_back(std::move(stats));
+    }
+
+    if (cur == &original) {
+        result.circuit = original; // empty/no-op pipeline: verbatim copy
+    } else {
+        work.finalize(); // safety net: a pass bug fails fast, not in a solver
+        result.circuit = std::move(work);
+    }
+    result.seconds = secondsSince(start);
+    return result;
+}
+
+} // namespace csl::rtl::transform

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The circuit reduction pipeline: named rewriting passes driven by a
+ * PassManager that produces a reduced Circuit plus the NetMap remap
+ * artifact (DESIGN.md "Reduction pipeline").
+ *
+ * The paper's whole pitch is shrinking the model-checking problem so the
+ * solver scales; this layer applies the same idea *post construction*:
+ * every BMC / k-induction / PDR call in the staged portfolio runs on the
+ * reduced netlist, and every witness is translated back through the
+ * NetMap so audits, waveforms and diagnostics stay in original-net
+ * terms.
+ *
+ * Pass inventory (names as accepted by parsePipeline / `cslv --passes`):
+ *
+ *  - constprop   global sequential constant propagation (the sound
+ *                optimistic fixpoint of analysis::foldConstants) plus
+ *                constraint-aware assume-propagation: literals forced by
+ *                every-cycle `addConstraint` nets substitute free inputs
+ *                and frozen symbolic registers with their forced
+ *                constants (the NetMap records the value for witness
+ *                back-mapping); trivially-true assumptions are dropped
+ *  - structhash  global structural hashing: the Builder's hash-consing
+ *                re-run over the whole netlist with commutative-operand
+ *                normalization and local identity rewrites (x^x=0,
+ *                x==x, mux folding, neutral/absorbing constants) -
+ *                catches sharing the on-the-fly consing missed across
+ *                `connectReg` back-edges
+ *  - regmerge    equivalent-register merging by optimistic partition
+ *                refinement over the whole transition structure: the
+ *                two-copy shadow/baseline products are full of
+ *                structurally identical register pairs before the
+ *                divergence logic, and merging them halves their cones
+ *  - coi         cone-of-influence pruning: rebuild only the nets
+ *                reachable from assumptions, initial assumptions, bad
+ *                nets and the caller's extra roots - a genuinely
+ *                smaller netlist, not a bitmap
+ *  - dce         dead-net sweep: drop combinational nets with no path
+ *                to any root while keeping all state and inputs
+ *                (observability-preserving; `coi` subsumes it in the
+ *                default pipeline but it stands alone in custom lists)
+ *
+ * Soundness contract (what the equivalence tests check): for every
+ * execution of the original circuit satisfying its constraints, the
+ * reduced circuit under the NetMap-translated stimulus produces the
+ * same bad-net trace, and vice versa - so verdicts and attack depths
+ * are preserved exactly.
+ */
+
+#ifndef CSL_RTL_TRANSFORM_PASSES_H_
+#define CSL_RTL_TRANSFORM_PASSES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtl/circuit.h"
+#include "rtl/transform/netmap.h"
+
+namespace csl::rtl::transform {
+
+/**
+ * The one cone-of-influence computation (satellite of ISSUE 4): BFS
+ * from @p roots through combinational operands and register next-state
+ * back-edges, tolerant of malformed circuits (out-of-range operands are
+ * skipped; structural lint reports those). Returns a bitmap indexed by
+ * NetId. Circuit::coneOfInfluence, rtl::coneSize, the Unroller's frame
+ * bitmap and analysis::coneLint all route through here so they cannot
+ * disagree.
+ */
+std::vector<bool> coneOfInfluence(const Circuit &circuit,
+                                  const std::vector<NetId> &roots);
+
+/** coneOfInfluence() seeded with every constraint, init constraint and
+ * bad net plus @p extra_roots - the property cone. */
+std::vector<bool> propertyCone(const Circuit &circuit,
+                               const std::vector<NetId> &extra_roots = {});
+
+/** Sizes before/after one pass, for reports and BENCH_reduction.json. */
+struct PassStats
+{
+    std::string name;
+    size_t netsBefore = 0;
+    size_t netsAfter = 0;
+    size_t regsBefore = 0;
+    size_t regsAfter = 0;
+    double seconds = 0;
+};
+
+/** What a pipeline run produced. */
+struct ReductionResult
+{
+    /** The reduced circuit, finalized and engine-ready. */
+    Circuit circuit;
+    /** Original -> reduced correspondence (witness back-mapping). */
+    NetMap map;
+    /** Per-pass statistics in execution order. */
+    std::vector<PassStats> passes;
+    /** Normalized pipeline ("constprop,structhash,..."); doubles as the
+     * reduction fingerprint the journal records and checks on resume. */
+    std::string pipeline;
+    double seconds = 0;
+};
+
+/**
+ * Runs a named pass pipeline over finalized circuits. The pipeline
+ * string is either an alias ("default", "none") or a comma-separated
+ * list of pass names from the inventory above.
+ */
+class PassManager
+{
+  public:
+    /** Panics on an unparsable pipeline; validate user input with
+     * parsePipeline() first. */
+    explicit PassManager(const std::string &pipeline = "default");
+
+    /** Parse a pipeline spec; nullopt on an unknown pass name.
+     * "default" and "none" expand to their pass lists ("none" to an
+     * empty one). */
+    static std::optional<std::vector<std::string>> parsePipeline(
+        const std::string &pipeline);
+
+    /** The pass names "default" expands to. */
+    static const std::vector<std::string> &defaultPasses();
+
+    /** Every known pass name, in canonical order. */
+    static const std::vector<std::string> &knownPasses();
+
+    /**
+     * Run the pipeline over @p original (must be finalized). Nets in
+     * @p extra_roots (original ids) are kept alive through every pass -
+     * candidate invariants, observation points - so they stay mappable
+     * afterwards. An empty pipeline returns a verbatim copy under the
+     * identity NetMap.
+     */
+    ReductionResult run(const Circuit &original,
+                        const std::vector<NetId> &extra_roots = {}) const;
+
+    const std::vector<std::string> &passes() const { return passes_; }
+
+    /** Canonical comma-separated form ("" for the empty pipeline). */
+    std::string normalized() const;
+
+  private:
+    std::vector<std::string> passes_;
+};
+
+} // namespace csl::rtl::transform
+
+#endif // CSL_RTL_TRANSFORM_PASSES_H_

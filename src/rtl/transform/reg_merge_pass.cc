@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Equivalent-register merging by optimistic partition refinement.
+ *
+ * The two-copy shadow/baseline products are full of register pairs that
+ * evolve identically until the divergence logic taps them. Pessimistic
+ * (bottom-up) hashing cannot merge such pairs: each twin's next-state
+ * refers to its own copy, so proving them equal needs the conclusion as
+ * a hypothesis. Partition refinement runs the induction the right way:
+ * start from the coarsest partition that could possibly be value-equal -
+ *
+ *   - constants grouped by (width, value),
+ *   - concrete-init registers by (width, init),
+ *   - symbolic-init registers and free inputs as singletons (their
+ *     values are unconstrained, so nothing else can be proven equal to
+ *     them), except symbolic register pairs explicitly equated by an
+ *     assumption (the product builders' "both copies start from the
+ *     same state" constraint), which seed a shared class,
+ *   - combinational nets by (op, width, imm) -
+ *
+ * and split classes whose members' operand classes disagree until
+ * stable. In a stable partition, same-class nets carry equal values in
+ * every cycle of every constraint-satisfying execution (induction over
+ * cycles, with an inner induction over net ids inside each cycle), so
+ * collapsing each class to its minimum-id representative is sound and
+ * needs no solver call. The refinement is the Hopcroft/Moore DFA
+ * minimization scheme run on the transition structure; each round either
+ * splits a class or terminates, so it runs at most #nets rounds.
+ */
+
+#include <array>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "base/bits.h"
+#include "rtl/transform/rewrite.h"
+
+namespace csl::rtl::transform {
+
+namespace {
+
+bool
+commutative(Op op)
+{
+    switch (op) {
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Add:
+      case Op::Mul:
+      case Op::Eq:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Min-id union-find used only to seed symbolic-register classes. */
+struct UnionFind
+{
+    explicit UnionFind(size_t n) : parent(n)
+    {
+        std::iota(parent.begin(), parent.end(), 0);
+    }
+    NetId find(NetId x)
+    {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    }
+    void unite(NetId a, NetId b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return;
+        if (a > b)
+            std::swap(a, b);
+        parent[b] = a;
+    }
+    std::vector<NetId> parent;
+};
+
+/**
+ * Seed equalities between symbolic-init registers from the conjuncts of
+ * an assumption root: Eq(r1, r2) under a (possibly nested) And. The
+ * refinement still has to prove the next-states compatible; an unsound
+ * seed merely fails to survive, so this is purely an enabling hint.
+ */
+void
+seedEqualities(const Circuit &in, NetId root, UnionFind &uf)
+{
+    std::vector<NetId> stack{root};
+    int steps = 0;
+    while (!stack.empty() && steps++ < 4096) {
+        const NetId id = stack.back();
+        stack.pop_back();
+        const Net &net = in.net(id);
+        if (net.op == Op::And && net.width == 1) {
+            stack.push_back(net.a);
+            stack.push_back(net.b);
+        } else if (net.op == Op::Eq) {
+            const Net &a = in.net(net.a);
+            const Net &b = in.net(net.b);
+            if (a.op == Op::Reg && a.symbolicInit && b.op == Op::Reg &&
+                b.symbolicInit && a.width == b.width)
+                uf.unite(net.a, net.b);
+        }
+    }
+}
+
+} // namespace
+
+Substitution
+regMergeSubstitution(const Circuit &in)
+{
+    const size_t count = in.numNets();
+    Substitution sub(count);
+    if (count == 0)
+        return sub;
+
+    UnionFind seeds(count);
+    for (NetId id : in.constraints())
+        seedEqualities(in, id, seeds);
+    for (NetId id : in.initConstraints())
+        seedEqualities(in, id, seeds);
+
+    // Initial (coarsest plausible) partition.
+    std::vector<uint64_t> label(count);
+    {
+        std::map<std::array<uint64_t, 4>, uint64_t> classes;
+        for (NetId id = 0; id < NetId(count); ++id) {
+            const Net &net = in.net(id);
+            std::array<uint64_t, 4> key{};
+            switch (net.op) {
+              case Op::Const:
+                key = {0, net.width, truncBits(net.imm, net.width), 0};
+                break;
+              case Op::Input:
+                key = {1, uint64_t(id), 0, 0}; // singleton
+                break;
+              case Op::Reg:
+                if (net.symbolicInit)
+                    key = {2, uint64_t(seeds.find(id)), 0, 0};
+                else
+                    key = {3, net.width, truncBits(net.imm, net.width), 0};
+                break;
+              default:
+                key = {4 + uint64_t(net.op), net.width,
+                       net.op == Op::Slice ? net.imm : 0, 0};
+                break;
+            }
+            label[id] =
+                classes.emplace(key, uint64_t(classes.size())).first->second;
+        }
+    }
+
+    // Refine by operand classes until stable. Refinement only splits, so
+    // an unchanged class count means an unchanged partition.
+    size_t numClasses = 0;
+    for (;;) {
+        std::map<std::array<uint64_t, 4>, uint64_t> classes;
+        std::vector<uint64_t> next(count);
+        for (NetId id = 0; id < NetId(count); ++id) {
+            const Net &net = in.net(id);
+            std::array<uint64_t, 4> key = {label[id], 0, 0, 0};
+            auto operandLabel = [&](NetId x) -> uint64_t {
+                if (x < 0 || static_cast<size_t>(x) >= count)
+                    return ~uint64_t(0); // dangling: keep it distinct
+                return label[x] + 1;
+            };
+            if (net.op == Op::Reg) {
+                key[1] = operandLabel(net.a);
+            } else {
+                const int arity = opArity(net.op);
+                uint64_t la = arity >= 1 ? operandLabel(net.a) : 0;
+                uint64_t lb = arity >= 2 ? operandLabel(net.b) : 0;
+                const uint64_t lc = arity >= 3 ? operandLabel(net.c) : 0;
+                if (commutative(net.op) && la > lb)
+                    std::swap(la, lb);
+                key[1] = la;
+                key[2] = lb;
+                key[3] = lc;
+            }
+            next[id] =
+                classes.emplace(key, uint64_t(classes.size())).first->second;
+        }
+        const size_t refined = classes.size();
+        label = std::move(next);
+        if (refined == numClasses)
+            break;
+        numClasses = refined;
+    }
+
+    // Collapse each class to its minimum-id member.
+    std::map<uint64_t, NetId> repOf;
+    for (NetId id = 0; id < NetId(count); ++id)
+        sub.rep[id] = repOf.emplace(label[id], id).first->second;
+    return sub;
+}
+
+} // namespace csl::rtl::transform

@@ -1,0 +1,186 @@
+#include "rtl/transform/rewrite.h"
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "base/bits.h"
+#include "base/logging.h"
+
+namespace csl::rtl::transform {
+
+bool
+Substitution::trivial() const
+{
+    for (size_t i = 0; i < rep.size(); ++i)
+        if (rep[i] != NetId(i) || constant[i])
+            return false;
+    return true;
+}
+
+NetMap
+rebuildCircuit(const Circuit &in, const Substitution &sub,
+               const RebuildOptions &options, Circuit &out)
+{
+    const size_t count = in.numNets();
+    csl_assert(sub.rep.size() == count, "substitution size mismatch");
+    csl_assert(out.numNets() == 0, "rebuild target must be empty");
+
+    // Liveness over canonical nets, traversing *substituted* operands:
+    // nets collapsing to constants have no cone, and merged classes are
+    // traversed once through their representative (refinement guarantees
+    // members' operands share the representative's operand classes).
+    std::vector<bool> live(count, false);
+    std::deque<NetId> queue;
+    auto push = [&](NetId id) {
+        if (id < 0 || static_cast<size_t>(id) >= count)
+            return;
+        if (sub.constantOf(id))
+            return;
+        const NetId canon = sub.canon(id);
+        if (!live[canon]) {
+            live[canon] = true;
+            queue.push_back(canon);
+        }
+    };
+    for (NetId id : in.constraints())
+        push(id);
+    for (NetId id : in.initConstraints())
+        push(id);
+    for (NetId id : in.bads())
+        push(id);
+    for (NetId id : options.roots)
+        push(id);
+    if (options.keepAllState) {
+        for (NetId id : in.registers())
+            push(id);
+        for (NetId id : in.inputs())
+            push(id);
+    }
+    while (!queue.empty()) {
+        const NetId id = queue.front();
+        queue.pop_front();
+        const Net &net = in.net(id);
+        if (net.op == Op::Reg) {
+            push(net.a);
+            continue;
+        }
+        const int arity = opArity(net.op);
+        if (arity >= 1)
+            push(net.a);
+        if (arity >= 2)
+            push(net.b);
+        if (arity >= 3)
+            push(net.c);
+    }
+
+    // Emit surviving representatives in ascending original id. Class
+    // representatives are class minima, so substituted operands always
+    // precede their users; constants are materialized on demand from a
+    // per-(width, value) pool.
+    std::vector<NetId> newId(count, kNoNet);
+    std::map<std::pair<uint8_t, uint64_t>, NetId> constPool;
+    auto emitConst = [&](uint8_t width, uint64_t value) -> NetId {
+        value = truncBits(value, width);
+        const auto key = std::make_pair(width, value);
+        auto it = constPool.find(key);
+        if (it != constPool.end())
+            return it->second;
+        Net net;
+        net.op = Op::Const;
+        net.width = width;
+        net.imm = value;
+        const NetId id = out.addNet(net);
+        constPool.emplace(key, id);
+        return id;
+    };
+    auto resolve = [&](NetId operand) -> NetId {
+        const NetId canon = sub.canon(operand);
+        if (auto value = sub.constantOf(operand))
+            return emitConst(in.net(canon).width, *value);
+        csl_assert(newId[canon] != kNoNet,
+                   "rebuild: operand ", operand, " has no reduced net");
+        return newId[canon];
+    };
+
+    for (NetId id = 0; id < NetId(count); ++id) {
+        if (sub.canon(id) != id || sub.constantOf(id) || !live[id])
+            continue;
+        Net net = in.net(id);
+        if (net.op == Op::Reg) {
+            net.a = kNoNet; // connected below; back-edges may point forward
+            newId[id] = out.addNet(net);
+            continue;
+        }
+        const int arity = opArity(net.op);
+        if (arity >= 1)
+            net.a = resolve(net.a);
+        if (arity >= 2)
+            net.b = resolve(net.b);
+        if (arity >= 3)
+            net.c = resolve(net.c);
+        newId[id] = out.addNet(net);
+    }
+    for (NetId reg : in.registers()) {
+        if (sub.canon(reg) != reg || sub.constantOf(reg) || !live[reg])
+            continue;
+        const Net &net = in.net(reg);
+        if (net.a != kNoNet)
+            out.connectReg(newId[reg], resolve(net.a));
+    }
+
+    // Roles. A constraint proven true checks nothing and is dropped; one
+    // proven false is KEPT as an explicit constant-0 assumption so the
+    // reduced problem stays exactly as vacuous as the original. Dually,
+    // a bad net proven 0 can never fire and is dropped, while one proven
+    // 1 survives as a constant-1 bad.
+    auto emitRoles = [&](const std::vector<NetId> &ids, bool is_bad,
+                         auto add) {
+        std::set<NetId> seen;
+        for (NetId id : ids) {
+            NetId reduced;
+            if (auto value = sub.constantOf(id)) {
+                const bool fires = truncBits(*value, 1) != 0;
+                if (is_bad ? !fires : fires)
+                    continue;
+                reduced = emitConst(1, is_bad ? 1 : 0);
+            } else {
+                reduced = newId[sub.canon(id)];
+            }
+            if (seen.insert(reduced).second)
+                add(reduced);
+        }
+    };
+    emitRoles(in.constraints(), false,
+              [&](NetId id) { out.addConstraint(id); });
+    emitRoles(in.initConstraints(), false,
+              [&](NetId id) { out.addInitConstraint(id); });
+    emitRoles(in.bads(), true, [&](NetId id) { out.addBad(id); });
+
+    // Names: first named class member wins (ties to the VCD writer and
+    // diagnostics; merged twins keep the earlier copy's name).
+    for (NetId id = 0; id < NetId(count); ++id) {
+        if (!in.hasName(id) || sub.constantOf(id))
+            continue;
+        const NetId reduced = newId[sub.canon(id)];
+        if (reduced == kNoNet || out.hasName(reduced))
+            continue;
+        out.setName(reduced, in.name(id));
+    }
+
+    NetMap map;
+    map.resize(count, out.numNets());
+    for (NetId id = 0; id < NetId(count); ++id) {
+        if (auto value = sub.constantOf(id)) {
+            map.setConstant(
+                id, truncBits(*value, in.net(sub.canon(id)).width));
+            continue;
+        }
+        const NetId reduced = newId[sub.canon(id)];
+        if (reduced != kNoNet)
+            map.setMapped(id, reduced);
+    }
+    return map;
+}
+
+} // namespace csl::rtl::transform

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Internal machinery of the reduction passes (not part of the public
+ * transform API; include rtl/transform/passes.h instead).
+ *
+ * Every rewriting pass expresses its result as a Substitution over the
+ * input circuit: each net either keeps itself, aliases an earlier
+ * representative net, or collapses to a known constant. rebuildCircuit()
+ * then materializes the substitution as a fresh compacted Circuit plus
+ * the NetMap stage for witness back-mapping. Keeping rebuild in one
+ * place keeps every pass's liveness/role/name handling identical.
+ */
+
+#ifndef CSL_RTL_TRANSFORM_REWRITE_H_
+#define CSL_RTL_TRANSFORM_REWRITE_H_
+
+#include <optional>
+#include <vector>
+
+#include "rtl/circuit.h"
+#include "rtl/transform/netmap.h"
+
+namespace csl::rtl::transform {
+
+/** A pass result: per-net representative or known constant. */
+struct Substitution
+{
+    explicit Substitution(size_t nets)
+        : rep(nets), constant(nets)
+    {
+        for (size_t i = 0; i < nets; ++i)
+            rep[i] = NetId(i);
+    }
+
+    /**
+     * rep[x] is x's class representative; invariants: rep[x] <= x,
+     * rep[rep[x]] == rep[x], and the representative has the same width
+     * (and for registers the same init behaviour) as x.
+     */
+    std::vector<NetId> rep;
+
+    /** Overrides rep when set: the net's proven per-cycle value. A
+     * constant on a representative applies to its whole class. */
+    std::vector<std::optional<uint64_t>> constant;
+
+    NetId canon(NetId id) const { return rep[id]; }
+
+    /** Constant value of @p id's class, if any. */
+    std::optional<uint64_t>
+    constantOf(NetId id) const
+    {
+        const NetId c = rep[id];
+        if (constant[id])
+            return constant[id];
+        return constant[c];
+    }
+
+    /** True when the substitution renames nothing and folds nothing. */
+    bool trivial() const;
+};
+
+/** rebuildCircuit() liveness policy. */
+struct RebuildOptions
+{
+    /** Extra liveness roots (input-circuit ids) besides every
+     * constraint, init constraint and bad net. */
+    std::vector<NetId> roots;
+
+    /**
+     * Keep every surviving register and input live even when nothing in
+     * a property cone references it (the rewriting passes' policy; the
+     * cone-of-influence pass sets this to false to actually prune).
+     */
+    bool keepAllState = true;
+};
+
+/**
+ * Materialize @p sub over @p in as the compacted circuit @p out (roles
+ * and names carried over; trivially-true assumptions and never-firing
+ * bad nets dropped; out is left unfinalized for further passes).
+ * Returns the original->out NetMap stage.
+ */
+NetMap rebuildCircuit(const Circuit &in, const Substitution &sub,
+                      const RebuildOptions &options, Circuit &out);
+
+// --- The pass substitution builders ------------------------------------
+
+/**
+ * One round of global constant propagation: analysis::foldConstants()
+ * plus constraint-aware assume-propagation (forced free inputs and
+ * forced frozen symbolic registers become constants). The driver
+ * iterates rounds to a fixed point.
+ */
+Substitution constPropSubstitution(const Circuit &in);
+
+/**
+ * Global structural hashing with commutative-operand normalization and
+ * local identity/constant rewrites (x^x, x==x, mux folding, neutral and
+ * absorbing constants, double negation, full-width slices).
+ */
+Substitution structHashSubstitution(const Circuit &in);
+
+/**
+ * Equivalent-register merging by optimistic partition refinement over
+ * the whole transition structure: start from the coarsest plausible
+ * partition (same op/width/concrete init; free inputs and symbolic-init
+ * registers are singletons) and split classes by operand classes until
+ * stable. Nets left in a shared class provably carry equal values in
+ * every cycle of every execution, so merging them is sound without any
+ * solver call.
+ */
+Substitution regMergeSubstitution(const Circuit &in);
+
+} // namespace csl::rtl::transform
+
+#endif // CSL_RTL_TRANSFORM_REWRITE_H_

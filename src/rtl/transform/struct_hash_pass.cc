@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Global structural hashing.
+ *
+ * The Builder hash-conses on the fly, but its table cannot see across
+ * `connectReg` back-edges, across separately-built sub-circuits glued
+ * into one product, or sharing that only appears after other passes
+ * substitute operands. This pass re-runs value numbering over the whole
+ * netlist in one ascending-id sweep: registers and inputs are leaves,
+ * commutative operands are order-normalized, and local identity and
+ * constant rewrites (x^x=0, x==x, mux folding, neutral and absorbing
+ * constants, double negation, full-width slices) fold nets outright.
+ * One sweep reaches the fixed point over combinational logic because
+ * operands always precede users; the PassManager's default pipeline runs
+ * the pass again after register merging to catch identities the merge
+ * exposes (e.g. Eq(r1, r2) collapsing to Eq(R, R) = 1).
+ */
+
+#include <array>
+#include <map>
+
+#include "base/bits.h"
+#include "rtl/transform/rewrite.h"
+
+namespace csl::rtl::transform {
+
+namespace {
+
+bool
+commutative(Op op)
+{
+    switch (op) {
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Add:
+      case Op::Mul:
+      case Op::Eq:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Fold a net whose (substituted) operands are all known constants,
+ * mirroring sim::Simulator semantics exactly. */
+uint64_t
+evalConst(const Circuit &in, const Net &net, uint64_t a, uint64_t b,
+          uint64_t c)
+{
+    uint64_t v = 0;
+    switch (net.op) {
+      case Op::Not: v = ~a; break;
+      case Op::And: v = a & b; break;
+      case Op::Or: v = a | b; break;
+      case Op::Xor: v = a ^ b; break;
+      case Op::Mux: v = a ? b : c; break;
+      case Op::Add: v = a + b; break;
+      case Op::Sub: v = a - b; break;
+      case Op::Mul: v = a * b; break;
+      case Op::Eq: v = a == b; break;
+      case Op::Ult: v = a < b; break;
+      case Op::Concat: v = (a << in.net(net.b).width) | b; break;
+      case Op::Slice: v = a >> net.imm; break;
+      default: break;
+    }
+    return truncBits(v, net.width);
+}
+
+} // namespace
+
+Substitution
+structHashSubstitution(const Circuit &in)
+{
+    const size_t count = in.numNets();
+    Substitution sub(count);
+
+    // (op, width, imm, canonical operands) -> first net with that shape.
+    std::map<std::array<uint64_t, 6>, NetId> table;
+
+    auto constOf = [&](NetId x) -> std::optional<uint64_t> {
+        if (auto k = sub.constantOf(x))
+            return k;
+        const NetId canon = sub.canon(x);
+        if (in.net(canon).op == Op::Const)
+            return truncBits(in.net(canon).imm, in.net(canon).width);
+        return std::nullopt;
+    };
+
+    for (NetId id = 0; id < NetId(count); ++id) {
+        const Net &net = in.net(id);
+        if (net.op == Op::Input || net.op == Op::Reg)
+            continue; // leaves of the value numbering
+        if (net.op == Op::Const) {
+            const std::array<uint64_t, 6> key = {
+                uint64_t(net.op), net.width,
+                truncBits(net.imm, net.width), 0, 0, 0};
+            sub.rep[id] = table.emplace(key, id).first->second;
+            continue;
+        }
+
+        const int arity = opArity(net.op);
+        NetId ca = arity >= 1 ? sub.canon(net.a) : kNoNet;
+        NetId cb = arity >= 2 ? sub.canon(net.b) : kNoNet;
+        const NetId cc = arity >= 3 ? sub.canon(net.c) : kNoNet;
+        const auto ka = arity >= 1 ? constOf(net.a) : std::nullopt;
+        const auto kb = arity >= 2 ? constOf(net.b) : std::nullopt;
+        const auto kc = arity >= 3 ? constOf(net.c) : std::nullopt;
+        const uint64_t full = maskBits(net.width);
+
+        std::optional<NetId> alias;
+        std::optional<uint64_t> value;
+
+        const bool allConst =
+            arity >= 1 && ka && (arity < 2 || kb) && (arity < 3 || kc);
+        if (allConst) {
+            value = evalConst(in, net, *ka, kb.value_or(0), kc.value_or(0));
+        } else {
+            switch (net.op) {
+              case Op::Not:
+                if (in.net(ca).op == Op::Not)
+                    alias = sub.canon(in.net(ca).a);
+                break;
+              case Op::And:
+                if (ca == cb)
+                    alias = ca;
+                else if (ka && *ka == 0)
+                    value = 0;
+                else if (ka && *ka == full)
+                    alias = cb;
+                else if (kb && *kb == 0)
+                    value = 0;
+                else if (kb && *kb == full)
+                    alias = ca;
+                break;
+              case Op::Or:
+                if (ca == cb)
+                    alias = ca;
+                else if (ka && *ka == full)
+                    value = full;
+                else if (ka && *ka == 0)
+                    alias = cb;
+                else if (kb && *kb == full)
+                    value = full;
+                else if (kb && *kb == 0)
+                    alias = ca;
+                break;
+              case Op::Xor:
+                if (ca == cb)
+                    value = 0;
+                else if (ka && *ka == 0)
+                    alias = cb;
+                else if (kb && *kb == 0)
+                    alias = ca;
+                break;
+              case Op::Add:
+                if (ka && *ka == 0)
+                    alias = cb;
+                else if (kb && *kb == 0)
+                    alias = ca;
+                break;
+              case Op::Sub:
+                if (ca == cb)
+                    value = 0;
+                else if (kb && *kb == 0)
+                    alias = ca;
+                break;
+              case Op::Mul:
+                if ((ka && *ka == 0) || (kb && *kb == 0))
+                    value = 0;
+                else if (ka && *ka == 1)
+                    alias = cb;
+                else if (kb && *kb == 1)
+                    alias = ca;
+                break;
+              case Op::Eq:
+                if (ca == cb)
+                    value = 1;
+                break;
+              case Op::Ult:
+                if (ca == cb)
+                    value = 0;
+                else if (kb && *kb == 0)
+                    value = 0; // nothing is unsigned-less than 0
+                break;
+              case Op::Mux:
+                if (ka)
+                    alias = *ka ? cb : cc;
+                else if (cb == cc)
+                    alias = cb;
+                break;
+              case Op::Slice:
+                if (net.imm == 0 && net.width == in.net(ca).width)
+                    alias = ca;
+                break;
+              default:
+                break;
+            }
+        }
+
+        if (value) {
+            sub.constant[id] = truncBits(*value, net.width);
+            continue;
+        }
+        if (alias) {
+            sub.rep[id] = *alias;
+            continue;
+        }
+        if (commutative(net.op) && ca > cb)
+            std::swap(ca, cb);
+        const std::array<uint64_t, 6> key = {
+            uint64_t(net.op),
+            net.width,
+            net.op == Op::Slice ? net.imm : 0,
+            uint64_t(uint32_t(ca)) + 1,
+            uint64_t(uint32_t(cb)) + 1,
+            uint64_t(uint32_t(cc)) + 1,
+        };
+        sub.rep[id] = table.emplace(key, id).first->second;
+    }
+    return sub;
+}
+
+} // namespace csl::rtl::transform

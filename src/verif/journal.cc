@@ -21,6 +21,8 @@ Journal::save(const std::string &path) const
             return false;
         out << "csl-journal " << kVersion << "\n";
         out << "fingerprint " << fingerprint << "\n";
+        if (!reduction.empty())
+            out << "reduction " << reduction << "\n";
         for (const auto &[key, value] : params)
             out << "param " << key << " " << value << "\n";
         out << "bmc-safe " << bmcSafeDepth << "\n";
@@ -78,6 +80,8 @@ Journal::load(const std::string &path)
             header_seen = true;
         } else if (tag == "fingerprint") {
             ls >> journal.fingerprint;
+        } else if (tag == "reduction") {
+            ls >> journal.reduction;
         } else if (tag == "param") {
             std::string key, value;
             ls >> key >> value;

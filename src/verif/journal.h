@@ -40,6 +40,17 @@ struct Journal
     /** Circuit fingerprint guarding resume against task mismatches. */
     std::string fingerprint;
 
+    /**
+     * Normalized reduction pipeline the run was solved under ("none"
+     * when reduction was off). Safe bounds and invariants are facts
+     * about the reduced netlist, so a resume that would re-reduce with
+     * different passes must not warm-start from them; the runner
+     * rejects the adoption with a diagnostic instead. Empty only in
+     * journals from before reduction existed, which resume treats as
+     * "none".
+     */
+    std::string reduction;
+
     /** Task-reconstruction parameters (written by cslv / the runner so
      * `cslv --resume <journal>` needs no other flags). */
     std::map<std::string, std::string> params;

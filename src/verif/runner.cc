@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <csignal>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "base/faultpoint.h"
 #include "base/logging.h"
@@ -10,6 +12,7 @@
 #include "isa/isa.h"
 #include "mc/trace.h"
 #include "rtl/analysis/analysis.h"
+#include "rtl/transform/passes.h"
 #include "shadow/baseline_builder.h"
 #include "shadow/shadow_builder.h"
 
@@ -18,6 +21,7 @@ namespace csl::verif {
 using contract::Contract;
 using mc::Verdict;
 using rtl::NetId;
+namespace transform = rtl::transform;
 
 namespace {
 
@@ -185,6 +189,13 @@ netsByName(const rtl::Circuit &circuit,
     return nets;
 }
 
+/** Journal/display form of a normalized pipeline ("" means "none"). */
+std::string
+reductionLabel(const std::string &normalized)
+{
+    return normalized.empty() ? "none" : normalized;
+}
+
 /** Mix for per-retry decision seeds (splitmix64 step). */
 uint64_t
 mixSeed(uint64_t seed, uint64_t attempt)
@@ -316,6 +327,19 @@ runResilientVerification(const VerificationTask &task,
     const bool strengthen = task.autoStrengthen && task.tryProof &&
                             task.scheme != Scheme::Baseline;
 
+    if (!transform::PassManager::parsePipeline(options.passes)) {
+        std::string known;
+        for (const std::string &name :
+             transform::PassManager::knownPasses())
+            known += (known.empty() ? "" : ",") + name;
+        res.verdict = Verdict::Diagnosed;
+        res.seconds = watch.seconds();
+        res.detail = "unknown reduction pass in pipeline '" +
+                     options.passes + "' (known passes: " + known +
+                     "; aliases: default, none)";
+        return rr;
+    }
+
     BuiltTask built;
     buildTaskCircuit(task, strengthen, built);
     const rtl::Circuit &circuit = built.circuit;
@@ -360,10 +384,41 @@ runResilientVerification(const VerificationTask &task,
     std::vector<NetId> candidateSeed = built.candidates;
     bool resumedInvariants = false;
     std::vector<mc::EngineKind> userEngines = options.engines;
+    std::string passSpec = options.passes; // "" = default or journal's
 
     if (options.resume && checkpointing) {
         auto loaded = Journal::load(options.journalPath);
-        if (loaded && loaded->fingerprint == journal.fingerprint) {
+        bool adopt = loaded && loaded->fingerprint == journal.fingerprint;
+        if (loaded && !adopt)
+            csl_warn("journal ", options.journalPath,
+                     " does not match this task (fingerprint ",
+                     loaded->fingerprint, " vs ", journal.fingerprint,
+                     "); starting fresh");
+        if (adopt) {
+            // The journal's facts (safe bound, invariants) were
+            // established on the netlist its reduction pipeline
+            // produced; adopting them under a different pipeline would
+            // warm-start from facts about another circuit. Journals
+            // predating reduction ran unreduced ("none").
+            const std::string recorded =
+                loaded->reduction.empty() ? "none" : loaded->reduction;
+            const std::string requested =
+                passSpec.empty()
+                    ? recorded
+                    : reductionLabel(
+                          transform::PassManager(passSpec).normalized());
+            if (requested != recorded) {
+                csl_warn("journal ", options.journalPath,
+                         " was solved under reduction pipeline '",
+                         recorded, "' but this run requests '", requested,
+                         "'; safe bounds and invariants do not transfer "
+                         "across pipelines - starting fresh");
+                adopt = false;
+            } else {
+                passSpec = recorded;
+            }
+        }
+        if (adopt) {
             rr.resumed = true;
             rr.deepestSafeBound = loaded->bmcSafeDepth;
             if (userEngines.empty()) {
@@ -396,16 +451,73 @@ runResilientVerification(const VerificationTask &task,
                            std::to_string(invariants.size()) +
                            " proven invariants"
                      : ""));
-        } else if (loaded) {
-            csl_warn("journal ", options.journalPath,
-                     " does not match this task (fingerprint ",
-                     loaded->fingerprint, " vs ", journal.fingerprint,
-                     "); starting fresh");
         }
     }
     journal.bmcSafeDepth = rr.deepestSafeBound;
     if (!userEngines.empty())
         journal.params["engines"] = mc::engineListName(userEngines);
+
+    // --- Circuit reduction ------------------------------------------------
+    // The engines solve the reduced netlist; everything user-facing -
+    // witness audits, attack decoding, VCDs, journaled invariant names,
+    // the circuit fingerprint - stays in original-net terms via the
+    // NetMap. Candidate invariants and the quiescent net ride along as
+    // extra roots so they remain mappable afterwards.
+    std::vector<NetId> reductionRoots = built.candidates;
+    if (built.quiescent != rtl::kNoNet)
+        reductionRoots.push_back(built.quiescent);
+    transform::PassManager passManager(passSpec);
+    transform::ReductionResult reduction =
+        passManager.run(circuit, reductionRoots);
+    const rtl::Circuit &solver = reduction.circuit;
+    const transform::NetMap &netmap = reduction.map;
+    rr.reductionPipeline = reductionLabel(reduction.pipeline);
+    rr.originalNets = circuit.numNets();
+    rr.reducedNets = solver.numNets();
+    rr.originalRegs = circuit.registers().size();
+    rr.reducedRegs = solver.registers().size();
+    rr.reductionSeconds = reduction.seconds;
+    journal.reduction = rr.reductionPipeline;
+    if (!passManager.passes().empty())
+        notes.push_back("reduced " + std::to_string(rr.originalNets) +
+                        "->" + std::to_string(rr.reducedNets) +
+                        " nets, " + std::to_string(rr.originalRegs) +
+                        "->" + std::to_string(rr.reducedRegs) +
+                        " regs [" + rr.reductionPipeline + "]");
+
+    // Candidates move into the reduced id space (merged candidates
+    // dedup; ones the pipeline proved constant have nothing left to
+    // prove); origOfReduced carries survivors back to original names
+    // for the journal.
+    std::unordered_map<NetId, NetId> origOfReduced;
+    auto toReduced = [&](const std::vector<NetId> &orig) {
+        std::vector<NetId> out;
+        std::unordered_set<NetId> seen;
+        for (NetId id : orig) {
+            const NetId mapped = netmap.mapped(id);
+            if (mapped == rtl::kNoNet || netmap.constantOf(id))
+                continue;
+            origOfReduced.emplace(mapped, id);
+            if (seen.insert(mapped).second)
+                out.push_back(mapped);
+        }
+        return out;
+    };
+    auto toOriginal = [&](const std::vector<NetId> &reduced) {
+        std::vector<NetId> out;
+        for (NetId id : reduced) {
+            auto it = origOfReduced.find(id);
+            if (it != origOfReduced.end())
+                out.push_back(it->second);
+        }
+        return out;
+    };
+    const std::vector<NetId> allCandidates = toReduced(built.candidates);
+    candidateSeed = toReduced(candidateSeed);
+    invariants = toReduced(invariants);
+    const NetId quiescentReduced = built.quiescent == rtl::kNoNet
+                                       ? rtl::kNoNet
+                                       : netmap.mapped(built.quiescent);
 
     // Per-stage engine sets (see RunnerOptions::engines). The hunt and
     // fallback stages default to BMC alone so attack depths stay
@@ -468,7 +580,7 @@ runResilientVerification(const VerificationTask &task,
         houdini_budget.attachDeadline(root);
         std::vector<NetId> pruning_front;
         auto survivors = mc::proveInductiveInvariants(
-            circuit, candidateSeed, &houdini_budget, window,
+            solver, candidateSeed, &houdini_budget, window,
             &pruning_front, options.houdiniThreads);
         StageOutcome outcome;
         outcome.name = "houdini-w" + std::to_string(window);
@@ -479,23 +591,25 @@ runResilientVerification(const VerificationTask &task,
             outcome.note = "interrupted with " +
                            std::to_string(pruning_front.size()) +
                            " candidates still alive";
-            journal.prunedCandidates = netNames(circuit, pruning_front);
+            journal.prunedCandidates =
+                netNames(circuit, toOriginal(pruning_front));
             houdini_note = "invariant search timed out (w=" +
                            std::to_string(window) + ")";
             recordStage(std::move(outcome));
             return false;
         }
-        bool quiet = built.quiescent != rtl::kNoNet &&
+        bool quiet = quiescentReduced != rtl::kNoNet &&
                      std::find(survivors->begin(), survivors->end(),
-                               built.quiescent) != survivors->end();
+                               quiescentReduced) != survivors->end();
         if (quiet || survivors->size() > invariants.size())
             invariants = *survivors;
         quiescent_proven = quiet;
-        journal.provenInvariants = netNames(circuit, invariants);
+        journal.provenInvariants =
+            netNames(circuit, toOriginal(invariants));
         journal.provenValid = true;
         journal.prunedCandidates.clear();
         houdini_note = std::to_string(invariants.size()) + "/" +
-                       std::to_string(built.candidates.size()) +
+                       std::to_string(allCandidates.size()) +
                        " invariants (w=" + std::to_string(window) + ")";
         outcome.verdict = Verdict::BoundedSafe;
         outcome.depth = invariants.size();
@@ -527,7 +641,7 @@ runResilientVerification(const VerificationTask &task,
                 attempt == 0 ? options.decisionSeed
                              : mixSeed(options.decisionSeed, attempt);
             copts.startSafeDepth = rr.deepestSafeBound;
-            cres = mc::checkProperty(circuit, copts);
+            cres = mc::checkProperty(solver, copts);
             conflicts += cres.conflicts;
             rr.importedFacts += cres.importedFacts;
             journal.importedFacts = rr.importedFacts;
@@ -537,10 +651,16 @@ runResilientVerification(const VerificationTask &task,
             if (cres.verdict != Verdict::Attack)
                 break;
 
-            Audit audit = auditWitness(
-                circuit, cres.trace ? *cres.trace : mc::Trace{},
-                cres.depth);
+            // The witness lives on the reduced netlist; translate it
+            // back through the NetMap first, so the audit replay, the
+            // attack report and any VCD all run on the original circuit.
+            mc::Trace origTrace;
+            if (cres.trace)
+                origTrace =
+                    mc::translateTrace(circuit, netmap, *cres.trace);
+            Audit audit = auditWitness(circuit, origTrace, cres.depth);
             if (audit.ok) {
+                cres.trace = std::move(origTrace);
                 audited_attack = cres;
                 break;
             }
@@ -603,7 +723,7 @@ runResilientVerification(const VerificationTask &task,
         if (!concluded(last) && strengthen && is_ooo &&
             !quiescent_proven && first_window < wide_window &&
             root.remaining() > 0.05) {
-            candidateSeed = built.candidates;
+            candidateSeed = allCandidates;
             runHoudini(wide_window, root.remaining() / 2);
             checkpoint("houdini-wide");
             if (root.remaining() > 0.05) {

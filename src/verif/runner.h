@@ -83,6 +83,20 @@ struct RunnerOptions
 
     /** Worker threads for the Houdini pruning phase (1 = sequential). */
     size_t houdiniThreads = 1;
+
+    /**
+     * Reduction pipeline applied before any engine stage (see
+     * rtl/transform/passes.h for the pass inventory). Empty selects the
+     * default pipeline - or, on --resume, whatever pipeline the journal
+     * records, so a resumed run solves the same reduced netlist. "none"
+     * disables reduction. The normalized pipeline is written to the
+     * journal; a resume whose requested pipeline disagrees with the
+     * recorded one is rejected with a diagnostic (safe bounds and
+     * invariants are facts about the reduced netlist and do not
+     * transfer) and the run starts fresh. An unparsable pipeline yields
+     * Verdict::Diagnosed.
+     */
+    std::string passes;
 };
 
 /** What happened in one runner stage. */
@@ -114,6 +128,16 @@ struct RunnerResult
     std::string winningEngine;
     /** Facts exchanged between portfolio engines across all stages. */
     uint64_t importedFacts = 0;
+    /** Normalized reduction pipeline the engines solved under ("none"
+     * when reduction was disabled). */
+    std::string reductionPipeline;
+    /** Netlist sizes on either side of the reduction pipeline. */
+    size_t originalNets = 0;
+    size_t reducedNets = 0;
+    size_t originalRegs = 0;
+    size_t reducedRegs = 0;
+    /** Wall-clock seconds spent inside the reduction pipeline. */
+    double reductionSeconds = 0;
 };
 
 /**

@@ -158,6 +158,7 @@ TEST(Journal, RoundTripsAllFields)
 {
     verif::Journal j;
     j.fingerprint = "00c0ffee00c0ffee";
+    j.reduction = "constprop,coi";
     j.params["kind"] = "2";
     j.params["timeout"] = "60.0";
     j.bmcSafeDepth = 9;
@@ -172,6 +173,7 @@ TEST(Journal, RoundTripsAllFields)
     auto loaded = verif::Journal::load(path);
     ASSERT_TRUE(loaded.has_value());
     EXPECT_EQ(loaded->fingerprint, j.fingerprint);
+    EXPECT_EQ(loaded->reduction, j.reduction);
     EXPECT_EQ(loaded->param("kind"), "2");
     EXPECT_EQ(loaded->bmcSafeDepth, 9u);
     EXPECT_TRUE(loaded->provenValid);
@@ -387,6 +389,56 @@ TEST(Runner, ResumeIgnoresJournalOfADifferentTask)
     EXPECT_FALSE(fresh.resumed);
     EXPECT_EQ(fresh.result.verdict, Verdict::Proof);
     std::remove(path.c_str());
+}
+
+TEST(Runner, ResumeRejectsAMismatchedReductionPipeline)
+{
+    fault::disarmAll();
+    std::string path = tmpPath("runner_reduction.journal");
+    std::remove(path.c_str());
+
+    auto task = proveTask();
+    verif::RunnerOptions ropts;
+    ropts.journalPath = path;
+    verif::RunnerResult first =
+        verif::runResilientVerification(task, ropts);
+    ASSERT_EQ(first.result.verdict, Verdict::Proof);
+    EXPECT_NE(first.reductionPipeline, "none");
+    EXPECT_LT(first.reducedNets, first.originalNets);
+
+    // Safe bounds and invariants journaled under the default pipeline
+    // are facts about the reduced netlist; resuming with reduction off
+    // must reject the warm start and re-run the invariant search.
+    ropts.resume = true;
+    ropts.passes = "none";
+    verif::RunnerResult fresh =
+        verif::runResilientVerification(task, ropts);
+    EXPECT_FALSE(fresh.resumed);
+    EXPECT_EQ(fresh.result.verdict, Verdict::Proof);
+    EXPECT_EQ(fresh.reductionPipeline, "none");
+    EXPECT_EQ(fresh.reducedNets, fresh.originalNets);
+
+    // The journal now records the "none" run; an unspecified pipeline
+    // adopts it instead of defaulting, so the resume is accepted.
+    ropts.passes.clear();
+    verif::RunnerResult adopted =
+        verif::runResilientVerification(task, ropts);
+    EXPECT_TRUE(adopted.resumed);
+    EXPECT_EQ(adopted.reductionPipeline, "none");
+    std::remove(path.c_str());
+}
+
+TEST(Runner, UnknownReductionPipelineIsDiagnosedNotRun)
+{
+    fault::disarmAll();
+    auto task = proveTask();
+    verif::RunnerOptions ropts;
+    ropts.passes = "constprop,frobnicate";
+    verif::RunnerResult rr =
+        verif::runResilientVerification(task, ropts);
+    EXPECT_EQ(rr.result.verdict, Verdict::Diagnosed);
+    EXPECT_TRUE(rr.stages.empty());
+    EXPECT_NE(rr.result.detail.find("frobnicate"), std::string::npos);
 }
 
 // --- Witness-replay matrix (satellite: every cex must replay) -------------

@@ -1,0 +1,628 @@
+/**
+ * @file
+ * Tests for the circuit reduction pipeline (rtl/transform): NetMap
+ * bookkeeping, pipeline parsing, per-pass rewrites, the property-based
+ * lockstep equivalence of original vs reduced circuits over randomized
+ * netlists, and the witness round trip (attack found on the reduced
+ * circuit, replayed on the original through the NetMap).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_map>
+
+#include "base/bits.h"
+#include "fuzz/random_circuit.h"
+#include "mc/portfolio.h"
+#include "mc/trace.h"
+#include "rtl/circuit.h"
+#include "rtl/transform/netmap.h"
+#include "rtl/transform/passes.h"
+#include "sim/simulator.h"
+
+namespace csl {
+namespace {
+
+using rtl::Circuit;
+using rtl::kNoNet;
+using rtl::Net;
+using rtl::NetId;
+using rtl::Op;
+using rtl::transform::NetMap;
+using rtl::transform::PassManager;
+using rtl::transform::ReductionResult;
+
+// --- Small raw-netlist helpers (addNet does not hash-cons) --------------
+
+NetId
+constNet(Circuit &c, uint8_t width, uint64_t value)
+{
+    Net net;
+    net.op = Op::Const;
+    net.width = width;
+    net.imm = truncBits(value, width);
+    return c.addNet(net);
+}
+
+NetId
+inputNet(Circuit &c, uint8_t width, const std::string &name)
+{
+    Net net;
+    net.op = Op::Input;
+    net.width = width;
+    NetId id = c.addNet(net);
+    c.setName(id, name);
+    return id;
+}
+
+NetId
+regNet(Circuit &c, uint8_t width, uint64_t init, const std::string &name,
+       bool symbolic = false)
+{
+    Net net;
+    net.op = Op::Reg;
+    net.width = width;
+    net.symbolicInit = symbolic;
+    net.imm = symbolic ? 0 : truncBits(init, width);
+    NetId id = c.addNet(net);
+    c.setName(id, name);
+    return id;
+}
+
+NetId
+binNet(Circuit &c, Op op, uint8_t width, NetId a, NetId b)
+{
+    Net net;
+    net.op = op;
+    net.width = width;
+    net.a = a;
+    net.b = b;
+    return c.addNet(net);
+}
+
+// --- NetMap -------------------------------------------------------------
+
+TEST(NetMap, IdentityMapsEveryNetToItself)
+{
+    NetMap map = NetMap::identity(5);
+    EXPECT_TRUE(map.isIdentity());
+    EXPECT_EQ(map.originalNets(), 5u);
+    EXPECT_EQ(map.reducedNets(), 5u);
+    for (NetId id = 0; id < 5; ++id) {
+        EXPECT_EQ(map.mapped(id), id);
+        EXPECT_FALSE(map.constantOf(id));
+        EXPECT_FALSE(map.dropped(id));
+    }
+    EXPECT_EQ(map.mergedCount(), 0u);
+    EXPECT_EQ(map.constantCount(), 0u);
+    EXPECT_EQ(map.droppedCount(), 0u);
+}
+
+TEST(NetMap, ComposeChasesThroughTheMidStage)
+{
+    // first: 4 -> 3 (net 1 and 2 merge onto mid 1, net 3 -> constant 7)
+    NetMap first;
+    first.resize(4, 3);
+    first.setMapped(0, 0);
+    first.setMapped(1, 1);
+    first.setMapped(2, 1);
+    first.setConstant(3, 7);
+    // second: 3 -> 1 (mid 0 dropped, mid 1 -> 0, mid 2 -> constant 1)
+    NetMap second;
+    second.resize(3, 1);
+    second.setMapped(1, 0);
+    second.setConstant(2, 1);
+
+    NetMap both = NetMap::compose(first, second);
+    EXPECT_EQ(both.originalNets(), 4u);
+    EXPECT_EQ(both.reducedNets(), 1u);
+    EXPECT_TRUE(both.dropped(0));       // mid 0 was dropped
+    EXPECT_EQ(both.mapped(1), 0);       // chased through mid 1
+    EXPECT_EQ(both.mapped(2), 0);       // merged pair stays merged
+    ASSERT_TRUE(both.constantOf(3));    // first-stage constant survives
+    EXPECT_EQ(*both.constantOf(3), 7u);
+    EXPECT_EQ(both.mergedCount(), 2u);
+}
+
+TEST(NetMap, ComposePicksUpSecondStageConstants)
+{
+    NetMap first;
+    first.resize(2, 2);
+    first.setMapped(0, 0);
+    first.setMapped(1, 1);
+    NetMap second;
+    second.resize(2, 1);
+    second.setMapped(0, 0);
+    second.setConstant(1, 3);
+
+    NetMap both = NetMap::compose(first, second);
+    ASSERT_TRUE(both.constantOf(1));
+    EXPECT_EQ(*both.constantOf(1), 3u);
+    EXPECT_EQ(both.mapped(1), kNoNet);
+}
+
+// --- Pipeline parsing ---------------------------------------------------
+
+TEST(PassManagerParse, AliasesAndLists)
+{
+    auto def = PassManager::parsePipeline("default");
+    ASSERT_TRUE(def);
+    EXPECT_EQ(*def, PassManager::defaultPasses());
+    EXPECT_EQ(*PassManager::parsePipeline(""), PassManager::defaultPasses());
+
+    auto none = PassManager::parsePipeline("none");
+    ASSERT_TRUE(none);
+    EXPECT_TRUE(none->empty());
+
+    auto list = PassManager::parsePipeline(" constprop , coi ");
+    ASSERT_TRUE(list);
+    EXPECT_EQ(*list, (std::vector<std::string>{"constprop", "coi"}));
+
+    // "default" expands inline inside a longer list.
+    auto inlined = PassManager::parsePipeline("constprop,default");
+    ASSERT_TRUE(inlined);
+    EXPECT_EQ(inlined->size(), 1 + PassManager::defaultPasses().size());
+}
+
+TEST(PassManagerParse, RejectsUnknownNames)
+{
+    EXPECT_FALSE(PassManager::parsePipeline("frobnicate"));
+    EXPECT_FALSE(PassManager::parsePipeline("constprop,frobnicate"));
+    // "none" is an alias for the whole spec, not a pass name.
+    EXPECT_FALSE(PassManager::parsePipeline("none,coi"));
+}
+
+TEST(PassManagerParse, NormalizedIsTheJoinedPassList)
+{
+    EXPECT_EQ(PassManager("constprop, coi").normalized(), "constprop,coi");
+    EXPECT_EQ(PassManager("none").normalized(), "");
+}
+
+// --- Individual passes --------------------------------------------------
+
+TEST(ConstPropPass, AssumePropagationPinsInputsAndKillsDeadBads)
+{
+    Circuit c;
+    NetId in = inputNet(c, 8, "in");
+    NetId five = constNet(c, 8, 5);
+    NetId pin = binNet(c, Op::Eq, 1, in, five);
+    c.addConstraint(pin);
+    NetId three = constNet(c, 8, 3);
+    NetId bad = binNet(c, Op::Ult, 1, in, three); // 5 < 3: never fires
+    c.setName(bad, "bad");
+    c.addBad(bad);
+    c.finalize();
+
+    ReductionResult r = PassManager("constprop,coi").run(c);
+    ASSERT_TRUE(r.map.constantOf(in));
+    EXPECT_EQ(*r.map.constantOf(in), 5u);
+    // The pinned-input assumption folds to 1 and checks nothing; the
+    // unreachable bad folds to 0 and is dropped.
+    EXPECT_TRUE(r.circuit.constraints().empty());
+    EXPECT_TRUE(r.circuit.bads().empty());
+}
+
+TEST(ConstPropPass, ConflictingForcingsBackOff)
+{
+    Circuit c;
+    NetId in = inputNet(c, 8, "in");
+    c.addConstraint(binNet(c, Op::Eq, 1, in, constNet(c, 8, 5)));
+    c.addConstraint(binNet(c, Op::Eq, 1, in, constNet(c, 8, 6)));
+    NetId bad = binNet(c, Op::Ult, 1, in, constNet(c, 8, 3));
+    c.addBad(bad);
+    c.finalize();
+
+    // The two assumptions contradict: no forced value may substitute
+    // (the problem is vacuous; that is the vacuity lint's job to call
+    // out, not the reducer's to hide).
+    ReductionResult r = PassManager("constprop").run(c);
+    EXPECT_FALSE(r.map.constantOf(in));
+    EXPECT_EQ(r.circuit.constraints().size(), 2u);
+}
+
+TEST(StructHashPass, FalseAssumptionIsKeptAsConstantZero)
+{
+    Circuit c;
+    NetId in = inputNet(c, 8, "in");
+    NetId x = binNet(c, Op::Xor, 8, in, in); // = 0
+    NetId never = binNet(c, Op::Eq, 1, x, constNet(c, 8, 9)); // = 0
+    c.addConstraint(never);
+    NetId bad = binNet(c, Op::Ult, 1, in, constNet(c, 8, 3));
+    c.addBad(bad);
+    c.finalize();
+
+    ReductionResult r = PassManager("structhash").run(c);
+    // A constraint proven false must survive as an explicit constant-0
+    // assumption: the reduced problem stays exactly as vacuous as the
+    // original instead of silently becoming satisfiable.
+    ASSERT_EQ(r.circuit.constraints().size(), 1u);
+    const Net &kept = r.circuit.net(r.circuit.constraints()[0]);
+    EXPECT_EQ(kept.op, Op::Const);
+    EXPECT_EQ(kept.imm, 0u);
+}
+
+TEST(StructHashPass, MergesVerbatimDuplicates)
+{
+    Circuit c;
+    NetId a = inputNet(c, 8, "a");
+    NetId b = inputNet(c, 8, "b");
+    NetId and1 = binNet(c, Op::And, 8, a, b);
+    NetId and2 = binNet(c, Op::And, 8, a, b);     // duplicate
+    NetId and3 = binNet(c, Op::And, 8, b, a);     // commuted duplicate
+    NetId t = constNet(c, 8, 7);
+    c.addBad(binNet(c, Op::Eq, 1, and1, t));
+    c.addBad(binNet(c, Op::Eq, 1, and2, t));
+    c.addBad(binNet(c, Op::Eq, 1, and3, t));
+    c.finalize();
+
+    ReductionResult r = PassManager("structhash").run(c);
+    EXPECT_EQ(r.map.mapped(and1), r.map.mapped(and2));
+    EXPECT_EQ(r.map.mapped(and1), r.map.mapped(and3));
+    // The three bads collapse to one identical reduced check.
+    EXPECT_EQ(r.circuit.bads().size(), 1u);
+    EXPECT_GE(r.map.mergedCount(), 4u);
+}
+
+TEST(RegMergePass, MergesStructurallyIdenticalRegisterPairs)
+{
+    Circuit c;
+    NetId in = inputNet(c, 8, "in");
+    NetId r1 = regNet(c, 8, 5, "r1");
+    NetId r2 = regNet(c, 8, 5, "r2");
+    // Mirrored next-state: r_i' = r_i + in.
+    c.connectReg(r1, binNet(c, Op::Add, 8, r1, in));
+    c.connectReg(r2, binNet(c, Op::Add, 8, r2, in));
+    NetId diverged = binNet(c, Op::Eq, 1, r1, r2);
+    c.addBad(diverged);
+    c.finalize();
+
+    ReductionResult r = PassManager("regmerge,structhash").run(c);
+    EXPECT_EQ(r.map.mapped(r1), r.map.mapped(r2));
+    EXPECT_EQ(r.circuit.registers().size(), 1u);
+    // Eq(r, r) folds to constant 1: a bad proven to always fire is
+    // kept as an explicit constant-1 assertion failure.
+    ASSERT_EQ(r.circuit.bads().size(), 1u);
+    const Net &kept = r.circuit.net(r.circuit.bads()[0]);
+    EXPECT_EQ(kept.op, Op::Const);
+    EXPECT_EQ(kept.imm, 1u);
+}
+
+TEST(RegMergePass, DivergentNextStateKeepsRegistersApart)
+{
+    Circuit c;
+    NetId in = inputNet(c, 8, "in");
+    NetId r1 = regNet(c, 8, 5, "r1");
+    NetId r2 = regNet(c, 8, 5, "r2");
+    c.connectReg(r1, binNet(c, Op::Add, 8, r1, in));
+    c.connectReg(r2, binNet(c, Op::Sub, 8, r2, in)); // diverges
+    c.addBad(binNet(c, Op::Eq, 1, r1, r2));
+    c.finalize();
+
+    ReductionResult r = PassManager("regmerge").run(c);
+    EXPECT_NE(r.map.mapped(r1), r.map.mapped(r2));
+    EXPECT_EQ(r.circuit.registers().size(), 2u);
+}
+
+TEST(CoiPass, DropsLogicOutsideEveryPropertyCone)
+{
+    Circuit c;
+    NetId in = inputNet(c, 8, "in");
+    NetId junkReg = regNet(c, 8, 0, "junk");
+    c.connectReg(junkReg, binNet(c, Op::Add, 8, junkReg, in));
+    NetId junk2 = binNet(c, Op::Xor, 8, junkReg, in);
+    NetId bad = binNet(c, Op::Eq, 1, in, constNet(c, 8, 9));
+    c.addBad(bad);
+    c.finalize();
+
+    ReductionResult r = PassManager("coi").run(c);
+    EXPECT_TRUE(r.map.dropped(junkReg));
+    EXPECT_TRUE(r.map.dropped(junk2));
+    EXPECT_NE(r.map.mapped(bad), kNoNet);
+    EXPECT_TRUE(r.circuit.registers().empty());
+    EXPECT_LT(r.circuit.numNets(), c.numNets());
+}
+
+TEST(CoiPass, ExtraRootsAreKeptAlive)
+{
+    Circuit c;
+    NetId in = inputNet(c, 8, "in");
+    NetId observed = binNet(c, Op::Eq, 1, in, constNet(c, 8, 2));
+    c.setName(observed, "candidate");
+    c.addBad(binNet(c, Op::Eq, 1, in, constNet(c, 8, 9)));
+    c.finalize();
+
+    EXPECT_TRUE(PassManager("coi").run(c).map.dropped(observed));
+    ReductionResult kept = PassManager("coi").run(c, {observed});
+    EXPECT_NE(kept.map.mapped(observed), kNoNet);
+    EXPECT_EQ(kept.circuit.name(kept.map.mapped(observed)), "candidate");
+}
+
+TEST(PassManagerRun, EmptyPipelineIsVerbatimIdentity)
+{
+    fuzz::RandomCircuitOptions opts;
+    Circuit c = fuzz::randomCircuit(11, opts);
+    ReductionResult r = PassManager("none").run(c);
+    EXPECT_TRUE(r.map.isIdentity());
+    EXPECT_EQ(r.circuit.numNets(), c.numNets());
+    EXPECT_TRUE(r.circuit.finalized());
+    EXPECT_EQ(r.pipeline, "");
+    EXPECT_TRUE(r.passes.empty());
+}
+
+TEST(PassManagerRun, RecordsPerPassStats)
+{
+    Circuit c = fuzz::randomCircuit(7);
+    ReductionResult r = PassManager().run(c);
+    ASSERT_EQ(r.passes.size(), PassManager::defaultPasses().size());
+    EXPECT_EQ(r.passes.front().netsBefore, c.numNets());
+    EXPECT_EQ(r.passes.back().netsAfter, r.circuit.numNets());
+    EXPECT_EQ(r.pipeline, PassManager().normalized());
+}
+
+// --- Property-based equivalence -----------------------------------------
+
+/**
+ * Simulate the original and the reduced circuit in lockstep under a
+ * NetMap-consistent stimulus and check the soundness contract: every
+ * role net (constraint, init constraint, bad) evaluates identically
+ * through the map, cycle by cycle, until the first cycle the *original*
+ * violates its own assumptions (past that point the reduced circuit
+ * owes nothing - reductions are sound modulo the constraints).
+ */
+void
+checkLockstepEquivalence(uint64_t seed, bool with_constraints)
+{
+    SCOPED_TRACE("seed " + std::to_string(seed) +
+                 (with_constraints ? " (constrained)" : ""));
+    fuzz::RandomCircuitOptions opts;
+    opts.withConstraints = with_constraints;
+    Circuit orig = fuzz::randomCircuit(seed, opts);
+    ReductionResult r = PassManager().run(orig);
+    const Circuit &red = r.circuit;
+    const NetMap &map = r.map;
+    ASSERT_LE(red.numNets(), orig.numNets());
+
+    std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull + 1);
+
+    // Initial state: concrete-init registers keep their reset value
+    // (constant propagation has proven facts from them); symbolic ones
+    // draw a random value *per reduced register*, so merged twins agree
+    // - exactly the executions the merge is sound for.
+    std::unordered_map<NetId, uint64_t> initO, initR;
+    std::unordered_map<NetId, uint64_t> perReduced;
+    for (NetId reg : orig.registers()) {
+        if (!orig.net(reg).symbolicInit)
+            continue;
+        const uint8_t width = orig.net(reg).width;
+        uint64_t value;
+        if (auto c = map.constantOf(reg)) {
+            value = *c;
+        } else if (NetId m = map.mapped(reg); m != kNoNet) {
+            auto [it, fresh] = perReduced.try_emplace(m, rng());
+            value = truncBits(it->second, width);
+            initR[m] = value;
+        } else {
+            value = truncBits(rng(), width); // dropped: unobservable
+        }
+        initO[reg] = value;
+    }
+
+    // Satisfy register-equality init assumptions by construction: the
+    // pipeline is entitled to consume them (regmerge), and once the
+    // merged register is later pruned away the map alone can no longer
+    // reconstruct the relation between the original twins.
+    for (NetId id : orig.initConstraints()) {
+        const Net &net = orig.net(id);
+        if (net.op != Op::Eq || orig.net(net.a).op != Op::Reg ||
+            orig.net(net.b).op != Op::Reg)
+            continue;
+        auto va = initO.find(net.a);
+        if (va == initO.end())
+            continue; // concrete-init registers keep their reset value
+        initO[net.b] = va->second;
+        if (NetId m = map.mapped(net.b); m != kNoNet)
+            initR[m] = va->second;
+    }
+
+    sim::Simulator so(orig);
+    sim::Simulator sr(red);
+    so.reset(initO);
+    sr.reset(initR);
+
+    auto checkRole = [&](NetId id, const char *what) {
+        if (auto c = map.constantOf(id)) {
+            EXPECT_EQ(so.value(id), *c) << what << " net " << id;
+        } else if (NetId m = map.mapped(id); m != kNoNet) {
+            EXPECT_EQ(so.value(id), sr.value(m)) << what << " net " << id;
+        } else {
+            ADD_FAILURE() << what << " net " << id << " was dropped";
+        }
+    };
+
+    for (size_t cycle = 0; cycle < 24; ++cycle) {
+        std::unordered_map<NetId, uint64_t> inO, inR;
+        std::unordered_map<NetId, uint64_t> perInput;
+        for (NetId in : orig.inputs()) {
+            const uint8_t width = orig.net(in).width;
+            uint64_t value;
+            if (auto c = map.constantOf(in)) {
+                value = *c; // honor assume-propagated forcings
+            } else if (NetId m = map.mapped(in); m != kNoNet) {
+                auto [it, fresh] = perInput.try_emplace(m, rng());
+                value = truncBits(it->second, width);
+                inR[m] = value;
+            } else {
+                value = truncBits(rng(), width);
+            }
+            inO[in] = value;
+        }
+        so.evaluate(inO);
+        sr.evaluate(inR);
+
+        EXPECT_EQ(so.constraintsHold(), sr.constraintsHold())
+            << "cycle " << cycle;
+        EXPECT_EQ(so.anyBad(), sr.anyBad()) << "cycle " << cycle;
+        for (NetId id : orig.constraints())
+            checkRole(id, "constraint");
+        for (NetId id : orig.bads())
+            checkRole(id, "bad");
+        if (cycle == 0) {
+            EXPECT_EQ(so.initConstraintsHold(), sr.initConstraintsHold());
+            for (NetId id : orig.initConstraints())
+                checkRole(id, "init constraint");
+        }
+        if (!so.constraintsHold() ||
+            (cycle == 0 && !so.initConstraintsHold()))
+            break; // conditional contract: assumptions violated
+        so.tick();
+        sr.tick();
+    }
+}
+
+TEST(ReductionEquivalence, RandomCircuitsUnconstrained)
+{
+    for (uint64_t seed = 1; seed <= 40; ++seed)
+        checkLockstepEquivalence(seed, false);
+}
+
+TEST(ReductionEquivalence, RandomCircuitsWithConstraints)
+{
+    for (uint64_t seed = 1; seed <= 40; ++seed)
+        checkLockstepEquivalence(seed, true);
+}
+
+TEST(ReductionEquivalence, PipelinePrefixesAgree)
+{
+    // Every prefix of the default pipeline must satisfy the same
+    // contract - a mid-pipeline bug shows up at the shortest failing
+    // prefix, which makes the bisection trivial.
+    const auto &def = PassManager::defaultPasses();
+    for (size_t n = 1; n <= def.size(); ++n) {
+        std::string spec;
+        for (size_t i = 0; i < n; ++i)
+            spec += (i ? "," : "") + def[i];
+        Circuit orig = fuzz::randomCircuit(99, {});
+        ReductionResult r = PassManager(spec).run(orig);
+        sim::Simulator so(orig);
+        sim::Simulator sr(r.circuit);
+        so.reset();
+        sr.reset();
+        std::mt19937_64 rng(99);
+        for (size_t cycle = 0; cycle < 16; ++cycle) {
+            std::unordered_map<NetId, uint64_t> inO, inR;
+            for (NetId in : orig.inputs()) {
+                uint64_t v = rng();
+                inO[in] = v;
+                if (auto c = r.map.constantOf(in))
+                    inO[in] = *c;
+                else if (NetId m = r.map.mapped(in); m != kNoNet)
+                    inR[m] = v;
+            }
+            so.evaluate(inO);
+            sr.evaluate(inR);
+            ASSERT_EQ(so.anyBad(), sr.anyBad())
+                << "prefix '" << spec << "' cycle " << cycle;
+            so.tick();
+            sr.tick();
+        }
+    }
+}
+
+// --- Witness round trip -------------------------------------------------
+
+TEST(WitnessRoundTrip, ReducedAttackReplaysOnTheOriginalCircuit)
+{
+    // Counter circuit with an input-gated assertion failure at cycle 5,
+    // plus redundancy for the pipeline to chew through: a duplicated
+    // counter and an unreachable junk cone.
+    Circuit c;
+    NetId in = inputNet(c, 8, "in");
+    NetId r1 = regNet(c, 8, 0, "ctr");
+    NetId r2 = regNet(c, 8, 0, "ctr_twin");
+    NetId one = constNet(c, 8, 1);
+    c.connectReg(r1, binNet(c, Op::Add, 8, r1, one));
+    c.connectReg(r2, binNet(c, Op::Add, 8, r2, one));
+    NetId junk = regNet(c, 16, 3, "junk");
+    c.connectReg(junk, binNet(c, Op::Mul, 16, junk, junk));
+    NetId atFive = binNet(c, Op::Eq, 1, r2, constNet(c, 8, 5));
+    NetId inHit = binNet(c, Op::Eq, 1, in, constNet(c, 8, 0x2a));
+    NetId bad = binNet(c, Op::And, 1, atFive, inHit);
+    c.setName(bad, "leak");
+    c.addBad(bad);
+    c.finalize();
+
+    ReductionResult r = PassManager().run(c);
+    EXPECT_LT(r.circuit.numNets(), c.numNets());
+    EXPECT_LT(r.circuit.registers().size(), c.registers().size());
+
+    mc::CheckOptions copts;
+    copts.maxDepth = 10;
+    copts.tryProof = false;
+    copts.engines = {mc::EngineKind::Bmc};
+    mc::CheckResult reduced = mc::checkProperty(r.circuit, copts);
+    ASSERT_EQ(reduced.verdict, mc::Verdict::Attack);
+    ASSERT_TRUE(reduced.trace);
+
+    mc::CheckResult unreduced = mc::checkProperty(c, copts);
+    ASSERT_EQ(unreduced.verdict, mc::Verdict::Attack);
+    EXPECT_EQ(reduced.depth, unreduced.depth); // identical attack depth
+
+    // The reduced-circuit witness, translated through the NetMap, must
+    // replay as a genuine attack on the *original* circuit - that is
+    // the property the runner's witness self-audit relies on.
+    mc::Trace back = mc::translateTrace(c, r.map, *reduced.trace);
+    EXPECT_EQ(back.length, reduced.depth + 1);
+    mc::ReplayResult replay = mc::replayTrace(c, back);
+    EXPECT_TRUE(replay.initConstraintsHeld);
+    EXPECT_TRUE(replay.constraintsHeld);
+    EXPECT_TRUE(replay.badReached);
+}
+
+TEST(WitnessRoundTrip, RandomCircuitWitnessesSurviveTranslation)
+{
+    // Across random circuits: whenever BMC finds an attack on the
+    // reduced circuit, the back-translated trace replays on the
+    // original with the same verdict.
+    size_t attacks = 0;
+    for (uint64_t seed = 1; seed <= 12 || attacks == 0; ++seed) {
+        ASSERT_LT(seed, 64u) << "no random seed produced an attack";
+        Circuit orig = fuzz::randomCircuit(seed, {});
+        ReductionResult r = PassManager().run(orig);
+        mc::CheckOptions copts;
+        copts.maxDepth = 6;
+        copts.tryProof = false;
+        copts.engines = {mc::EngineKind::Bmc};
+        mc::CheckResult res = mc::checkProperty(r.circuit, copts);
+        if (res.verdict != mc::Verdict::Attack)
+            continue;
+        ++attacks;
+        ASSERT_TRUE(res.trace);
+        mc::Trace back = mc::translateTrace(orig, r.map, *res.trace);
+        mc::ReplayResult replay = mc::replayTrace(orig, back);
+        EXPECT_TRUE(replay.badReached) << "seed " << seed;
+        EXPECT_TRUE(replay.constraintsHeld) << "seed " << seed;
+        EXPECT_TRUE(replay.initConstraintsHeld) << "seed " << seed;
+    }
+    EXPECT_GE(attacks, 1u);
+}
+
+// --- Unified cone-of-influence helper -----------------------------------
+
+TEST(ConeOfInfluence, AgreesAcrossTheThreeFormerCopies)
+{
+    Circuit c = fuzz::randomCircuit(3, {});
+    std::vector<bool> direct = rtl::transform::propertyCone(c);
+    std::vector<bool> viaCircuit = c.coneOfInfluence();
+    EXPECT_EQ(direct, viaCircuit);
+
+    // Extra roots only ever grow the cone.
+    std::vector<bool> wider =
+        rtl::transform::propertyCone(c, c.registers());
+    for (NetId id = 0; id < NetId(c.numNets()); ++id)
+        if (viaCircuit[id])
+            EXPECT_TRUE(wider[id]) << "cone shrank at net " << id;
+}
+
+} // namespace
+} // namespace csl

@@ -30,7 +30,7 @@ cmake --build "$build" -j "$jobs"
 # don't. resilience_smoke still runs under ASan below, without a ctest
 # timeout; the portfolio's concurrency is the TSan pass's job.
 ctest --test-dir "$build" --output-on-failure -j "$jobs" \
-    -E '^(resilience_smoke|portfolio_smoke)$'
+    -E '^(resilience_smoke|portfolio_smoke|reduction_smoke)$'
 
 # The fault-injection matrix exercises the runtime's recovery paths
 # (degraded solver, interrupted Houdini, SIGKILL + resume); run it under
@@ -38,6 +38,15 @@ ctest --test-dir "$build" --output-on-failure -j "$jobs" \
 # also a ctest entry, but a direct run keeps its output visible and
 # fails loudly on its own exit code.
 "$build/bench/resilience_smoke"
+
+# Reduction-pipeline gates, explicitly under ASan/UBSan: the randomized
+# original-vs-reduced lockstep equivalence suite (the property-based
+# soundness argument for every pass), then the --no-reduce vs default
+# verdict-identity smoke over the Table-2 cells. The trimmed budget
+# absorbs the sanitizer slowdown; a TIMEOUT side downgrades the verdict
+# comparison to a warning, but CNF-shrink and depth identity still gate.
+"$build/tests/test_transform"
+"$build/bench/reduction_bench" --budget 45
 
 # --- ThreadSanitizer pass -------------------------------------------------
 # Build only the threaded targets (plus their deps) and run the test

@@ -20,6 +20,7 @@
 
 #include "rtl/analysis/analysis.h"
 #include "rtl/btor2.h"
+#include "rtl/transform/passes.h"
 #include "shadow/baseline_builder.h"
 #include "shadow/shadow_builder.h"
 #include "verif/runner.h"
@@ -64,6 +65,15 @@ engine:
                        (default 1)
   --exclude-misaligned forbid misaligned-address programs
   --exclude-oor        forbid out-of-range-address programs
+
+reduction:
+  --passes <list>      circuit-reduction passes run before the engines:
+                       comma-separated constprop, structhash, regmerge,
+                       coi, dce, or the aliases default / none. Default:
+                       the default pipeline (on --resume, whatever the
+                       journal records). Witnesses are mapped back to
+                       the original netlist for audit and reporting
+  --no-reduce          shorthand for --passes=none
 
 static analysis:
   --lint               build the verification circuit, run the static-
@@ -165,6 +175,13 @@ resultJson(const verif::VerificationResult &result,
             << ",\"resumed\":" << (runner->resumed ? "true" : "false")
             << ",\"winner\":\"" << jsonEscape(runner->winningEngine)
             << "\",\"importedFacts\":" << runner->importedFacts
+            << ",\"reduction\":{\"pipeline\":\""
+            << jsonEscape(runner->reductionPipeline)
+            << "\",\"originalNets\":" << runner->originalNets
+            << ",\"reducedNets\":" << runner->reducedNets
+            << ",\"originalRegs\":" << runner->originalRegs
+            << ",\"reducedRegs\":" << runner->reducedRegs
+            << ",\"seconds\":" << runner->reductionSeconds << "}"
             << ",\"stages\":[";
         for (size_t i = 0; i < runner->stages.size(); ++i) {
             const verif::StageOutcome &stage = runner->stages[i];
@@ -261,6 +278,21 @@ main(int argc, char **argv)
                 return 2;
             }
             ropts.engines = *kinds;
+        } else if (match(argv[i], "--passes") ||
+                   matchEq(argv[i], "--passes")) {
+            const char *eq = matchEq(argv[i], "--passes");
+            std::string v = eq ? eq : value();
+            if (!rtl::transform::PassManager::parsePipeline(v)) {
+                std::fprintf(stderr,
+                             "bad pass pipeline '%s' (expected a comma-"
+                             "separated list of constprop,structhash,"
+                             "regmerge,coi,dce or default/none)\n",
+                             v.c_str());
+                return 2;
+            }
+            ropts.passes = v;
+        } else if (match(argv[i], "--no-reduce")) {
+            ropts.passes = "none";
         } else if (match(argv[i], "--houdini-threads")) {
             int n = std::atoi(value());
             if (n < 1) {
@@ -443,6 +475,14 @@ main(int argc, char **argv)
     } else {
         std::printf("%s\n", verif::formatResult(result).c_str());
         if (runner) {
+            if (!runner->reductionPipeline.empty() &&
+                runner->reductionPipeline != "none")
+                std::printf("  reduction [%s]: %zu -> %zu nets, "
+                            "%zu -> %zu regs (%.2fs)\n",
+                            runner->reductionPipeline.c_str(),
+                            runner->originalNets, runner->reducedNets,
+                            runner->originalRegs, runner->reducedRegs,
+                            runner->reductionSeconds);
             for (const verif::StageOutcome &stage : runner->stages)
                 std::printf("  stage %-24s %-12s depth=%zu %.2fs%s%s\n",
                             stage.name.c_str(),
