@@ -101,6 +101,9 @@ runFaultMatrix()
     for (const std::string &site : fault::knownSites()) {
         if (site == "runner.kill")
             continue; // exercised by the fork/resume check below
+        if (site.rfind("campaign.", 0) == 0)
+            continue; // supervisor-side sites: bench/campaign_smoke and
+                      // tests/campaign_test drive those
         {
             fault::ScopedFault guard(site);
             checkCleanVerdict(site.c_str(), "hunt",

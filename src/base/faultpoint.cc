@@ -10,8 +10,18 @@ const std::vector<std::string> &
 knownSites()
 {
     static const std::vector<std::string> sites = {
-        "budget.exhaust",    "sat.alloc",     "sat.corrupt-model",
-        "houdini.interrupt", "journal.write", "runner.kill",
+        "budget.exhaust",
+        "sat.alloc",
+        "sat.corrupt-model",
+        "houdini.interrupt",
+        "journal.write",
+        "runner.kill",
+        "campaign.worker-crash",
+        "campaign.worker-hang",
+        "campaign.worker-oom",
+        "campaign.corrupt-result",
+        "campaign.manifest-write",
+        "campaign.supervisor-kill",
     };
     return sites;
 }

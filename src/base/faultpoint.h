@@ -39,6 +39,20 @@ namespace csl::fault {
  *   journal.write     Journal::save() fails as if the disk were full
  *   runner.kill       SIGKILL at the next stage boundary (after the
  *                     journal checkpoint) - the crash/resume test
+ *
+ * Campaign-supervisor sites (consulted in the SUPERVISOR when it
+ * launches a worker, so an armed site injures exactly one worker
+ * attempt campaign-wide; resilience_smoke skips the campaign.* prefix
+ * because these sites are unreachable from a single in-process run):
+ *
+ *   campaign.worker-crash    the next launched worker dies by SIGKILL
+ *   campaign.worker-hang     the next worker sleeps until the wall cap
+ *   campaign.worker-oom      the next worker reports allocation failure
+ *   campaign.corrupt-result  the next worker truncates its result pipe
+ *   campaign.manifest-write  CampaignManifest::save() fails once
+ *   campaign.supervisor-kill SIGKILL of the supervisor right after a
+ *                            manifest checkpoint - the campaign
+ *                            resume test
  */
 const std::vector<std::string> &knownSites();
 

@@ -1,0 +1,64 @@
+#include "base/parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace csl {
+
+namespace {
+
+/** Shared tail checks: non-empty input, full consumption. The strto*
+ * family skips leading whitespace silently; flag values with stray
+ * spaces are rejected instead. */
+bool
+consumedAll(const std::string &text, const char *end)
+{
+    return !text.empty() &&
+           !std::isspace(static_cast<unsigned char>(text.front())) &&
+           end == text.c_str() + text.size();
+}
+
+} // namespace
+
+std::optional<long long>
+parseInt(const std::string &text)
+{
+    errno = 0;
+    char *end = nullptr;
+    long long value = std::strtoll(text.c_str(), &end, 0);
+    if (errno != 0 || !consumedAll(text, end))
+        return std::nullopt;
+    return value;
+}
+
+std::optional<uint64_t>
+parseUnsigned(const std::string &text)
+{
+    // strtoull accepts "-1" and wraps it; reject any minus sign up front
+    // (after optional leading whitespace there is none: we reject
+    // whitespace via full-consumption anyway, so scanning the raw text
+    // is enough).
+    if (text.find('-') != std::string::npos)
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    uint64_t value = std::strtoull(text.c_str(), &end, 0);
+    if (errno != 0 || !consumedAll(text, end))
+        return std::nullopt;
+    return value;
+}
+
+std::optional<double>
+parseDouble(const std::string &text)
+{
+    errno = 0;
+    char *end = nullptr;
+    double value = std::strtod(text.c_str(), &end);
+    if (errno != 0 || !consumedAll(text, end) || !std::isfinite(value))
+        return std::nullopt;
+    return value;
+}
+
+} // namespace csl

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Checked string-to-number parsing for command-line flags and config
+ * files. std::atoi silently turns "abc" into 0 and "12x" into 12; every
+ * user-facing numeric input goes through these instead, so a typo'd
+ * flag is a diagnosed usage error, not a zero-sized ROB.
+ *
+ * All parsers require the ENTIRE string to be consumed (leading and
+ * trailing whitespace included in the rejection), and return nullopt on
+ * empty input, trailing garbage, or range overflow.
+ */
+
+#ifndef CSL_BASE_PARSE_H_
+#define CSL_BASE_PARSE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace csl {
+
+/** Parse a signed integer (base 10, or 0x-prefixed hex). */
+std::optional<long long> parseInt(const std::string &text);
+
+/** Parse an unsigned integer (base 10, or 0x-prefixed hex). Rejects
+ * negative input rather than wrapping it around. */
+std::optional<uint64_t> parseUnsigned(const std::string &text);
+
+/** Parse a finite floating-point number. */
+std::optional<double> parseDouble(const std::string &text);
+
+} // namespace csl
+
+#endif // CSL_BASE_PARSE_H_

@@ -1,0 +1,179 @@
+#include "base/subprocess.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/time.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+
+namespace csl {
+
+namespace {
+
+void
+applyLimitsInChild(const SubprocessLimits &limits)
+{
+    if (limits.cpuSeconds > 0) {
+        rlim_t soft = rlim_t(std::ceil(limits.cpuSeconds));
+        if (soft == 0)
+            soft = 1;
+        struct rlimit rl;
+        rl.rlim_cur = soft;
+        rl.rlim_max = soft + 1; // SIGKILL backstop if SIGXCPU is ignored
+        setrlimit(RLIMIT_CPU, &rl);
+    }
+    if (limits.memoryBytes > 0) {
+        struct rlimit rl;
+        rl.rlim_cur = limits.memoryBytes;
+        rl.rlim_max = limits.memoryBytes;
+        setrlimit(RLIMIT_AS, &rl);
+    }
+}
+
+SubprocessStatus
+statusFromWait(int wstatus, const struct rusage &usage)
+{
+    SubprocessStatus status;
+    if (WIFEXITED(wstatus)) {
+        status.exited = true;
+        status.exitCode = WEXITSTATUS(wstatus);
+    } else if (WIFSIGNALED(wstatus)) {
+        status.signaled = true;
+        status.termSignal = WTERMSIG(wstatus);
+    }
+    auto seconds = [](const struct timeval &tv) {
+        return double(tv.tv_sec) + double(tv.tv_usec) * 1e-6;
+    };
+    status.cpuSeconds = seconds(usage.ru_utime) + seconds(usage.ru_stime);
+    status.maxRssKb = usage.ru_maxrss;
+    return status;
+}
+
+} // namespace
+
+std::optional<Subprocess>
+spawnSubprocess(const SubprocessLimits &limits,
+                const std::function<int(int)> &body)
+{
+    int fds[2];
+    if (pipe(fds) != 0)
+        return std::nullopt;
+    pid_t pid = fork();
+    if (pid < 0) {
+        close(fds[0]);
+        close(fds[1]);
+        return std::nullopt;
+    }
+    if (pid == 0) {
+        // Child. A worker that outlives its supervisor must not keep
+        // reading the supervisor's stdin; leave stdio alone otherwise
+        // so worker diagnostics stay visible.
+        close(fds[0]);
+        // A SIGPIPE from a supervisor that died mid-read must not kill
+        // the worker silently; writes fail with EPIPE instead.
+        signal(SIGPIPE, SIG_IGN);
+        // The supervisor's own SIGINT/SIGTERM handlers (which only set
+        // a flag) are inherited across fork; reset them so a forwarded
+        // signal actually terminates the worker.
+        signal(SIGINT, SIG_DFL);
+        signal(SIGTERM, SIG_DFL);
+        applyLimitsInChild(limits);
+        int code = 1;
+        if (body)
+            code = body(fds[1]);
+        // _exit, not exit: never run the supervisor's atexit/destructor
+        // state a second time from the forked image.
+        _exit(code & 0xff);
+    }
+    close(fds[1]);
+    fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+    Subprocess child;
+    child.pid = pid;
+    child.fd = fds[0];
+    return child;
+}
+
+SubprocessStatus
+waitSubprocess(pid_t pid)
+{
+    int wstatus = 0;
+    struct rusage usage = {};
+    while (wait4(pid, &wstatus, 0, &usage) < 0 && errno == EINTR) {
+    }
+    return statusFromWait(wstatus, usage);
+}
+
+std::optional<SubprocessStatus>
+tryWaitSubprocess(pid_t pid)
+{
+    int wstatus = 0;
+    struct rusage usage = {};
+    pid_t reaped = wait4(pid, &wstatus, WNOHANG, &usage);
+    if (reaped == 0 || (reaped < 0 && errno == EINTR))
+        return std::nullopt;
+    return statusFromWait(wstatus, usage);
+}
+
+std::optional<SubprocessRun>
+runSubprocess(const SubprocessLimits &limits, double wallSeconds,
+              const std::function<int(int)> &body)
+{
+    auto child = spawnSubprocess(limits, body);
+    if (!child)
+        return std::nullopt;
+
+    SubprocessRun run;
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        wallSeconds > 0
+            ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(wallSeconds))
+            : Clock::time_point::max();
+
+    char buf[4096];
+    for (;;) {
+        int timeout_ms = -1;
+        if (deadline != Clock::time_point::max()) {
+            auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - Clock::now())
+                            .count();
+            timeout_ms = left > 0 ? int(std::min<long long>(left, 60000))
+                                  : 0;
+        }
+        struct pollfd pfd = {child->fd, POLLIN, 0};
+        int ready = poll(&pfd, 1, timeout_ms);
+        if (ready < 0 && errno == EINTR)
+            continue;
+        if (ready > 0) {
+            ssize_t n = read(child->fd, buf, sizeof(buf));
+            if (n > 0) {
+                run.channel.append(buf, size_t(n));
+                continue;
+            }
+            break; // EOF (or read error): the worker is done writing
+        }
+        if (Clock::now() >= deadline) {
+            run.wallExpired = true;
+            kill(child->pid, SIGKILL);
+            break;
+        }
+    }
+    // Drain whatever arrived between the kill and the child dying.
+    for (;;) {
+        ssize_t n = read(child->fd, buf, sizeof(buf));
+        if (n <= 0)
+            break;
+        run.channel.append(buf, size_t(n));
+    }
+    close(child->fd);
+    run.status = waitSubprocess(child->pid);
+    return run;
+}
+
+} // namespace csl

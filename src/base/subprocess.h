@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Process-isolation primitive for the campaign supervisor: fork a
+ * worker with setrlimit CPU/RSS caps, hand it the write end of a result
+ * pipe, and capture how it died (exit code, terminating signal, CPU
+ * time, peak RSS from wait4's rusage).
+ *
+ * Why processes and not threads: the PR-2/PR-3 resilience layers catch
+ * failures the code can observe (budget exhaustion, a corrupt model, a
+ * failed allocation it tests for). A SIGKILL from the OOM killer, a
+ * SIGSEGV from a solver bug, or a runaway allocation is invisible from
+ * inside the process - only a supervisor on the other side of a fork
+ * can contain it to one campaign cell. This is the same containment
+ * discipline Revizor-style fuzzing campaigns apply to their untrusted
+ * test-case executions.
+ *
+ * The child never returns from spawnSubprocess: it runs the supplied
+ * body and _exit()s, so no destructors or atexit handlers of the
+ * supervisor run twice. The parent owns the pipe's read end and the
+ * pid; waitSubprocess() must be called exactly once per spawn (it is
+ * the wait4 that reaps the zombie).
+ *
+ * Wall-clock limits are the PARENT's job (poll the pipe with a timeout,
+ * then kill): RLIMIT_CPU only counts CPU time, so a worker blocked in
+ * poll/pause can sleep forever without tripping it.
+ */
+
+#ifndef CSL_BASE_SUBPROCESS_H_
+#define CSL_BASE_SUBPROCESS_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace csl {
+
+/** Resource caps applied in the child before the body runs (0 = off). */
+struct SubprocessLimits
+{
+    /**
+     * RLIMIT_CPU in seconds. The soft limit delivers SIGXCPU at
+     * ceil(cpuSeconds); the hard limit SIGKILLs one second later in
+     * case the worker ignores the first signal.
+     */
+    double cpuSeconds = 0;
+
+    /** RLIMIT_AS in bytes: allocations beyond it fail, which the worker
+     * turns into a structured OOM exit (see kOomExitCode). */
+    size_t memoryBytes = 0;
+};
+
+/** A spawned worker: its pid and the read end of its result pipe. */
+struct Subprocess
+{
+    pid_t pid = -1;
+    int fd = -1;
+
+    bool valid() const { return pid > 0; }
+};
+
+/**
+ * Exit code workers use to report "allocation failed under the memory
+ * cap" (set a new-handler that writes a marker and _exit()s with this).
+ * Chosen clear of the usage/verdict exit codes cslv documents.
+ */
+constexpr int kOomExitCode = 77;
+
+/**
+ * Fork a worker. In the child: apply @p limits, close the pipe's read
+ * end, run body(writeFd), then _exit(body's return value). In the
+ * parent: return the pid and the pipe's read end (O_CLOEXEC,
+ * blocking). Returns nullopt when fork or pipe creation fails.
+ *
+ * Must be called from a single-threaded process (the campaign
+ * supervisor is one by design): the body runs arbitrary code after
+ * fork, which is only safe when no other thread could have been
+ * holding a lock at fork time.
+ */
+std::optional<Subprocess>
+spawnSubprocess(const SubprocessLimits &limits,
+                const std::function<int(int)> &body);
+
+/** How a worker terminated, per wait4. */
+struct SubprocessStatus
+{
+    bool exited = false;   ///< normal _exit
+    int exitCode = 0;      ///< valid when exited
+    bool signaled = false; ///< killed by a signal
+    int termSignal = 0;    ///< valid when signaled
+    double cpuSeconds = 0; ///< user+system time, from rusage
+    long maxRssKb = 0;     ///< peak resident set, from rusage
+};
+
+/** Blocking wait4 on @p pid; reaps the zombie and captures rusage. */
+SubprocessStatus waitSubprocess(pid_t pid);
+
+/**
+ * Non-blocking reap: returns the status when @p pid has terminated,
+ * nullopt while it is still running.
+ */
+std::optional<SubprocessStatus> tryWaitSubprocess(pid_t pid);
+
+/**
+ * Run a worker to completion with a wall-clock cap enforced here in
+ * the parent: drain the pipe until EOF or until @p wallSeconds expire,
+ * SIGKILL on expiry, then reap. Convenience for tests and one-shot
+ * callers; the campaign scheduler multiplexes many workers through
+ * spawnSubprocess + its own poll loop instead.
+ */
+struct SubprocessRun
+{
+    SubprocessStatus status;
+    std::string channel;     ///< everything the body wrote to its fd
+    bool wallExpired = false;///< parent killed it at the wall cap
+};
+
+std::optional<SubprocessRun>
+runSubprocess(const SubprocessLimits &limits, double wallSeconds,
+              const std::function<int(int)> &body);
+
+} // namespace csl
+
+#endif // CSL_BASE_SUBPROCESS_H_

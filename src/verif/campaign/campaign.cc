@@ -1,0 +1,565 @@
+#include "verif/campaign/campaign.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/faultpoint.h"
+#include "base/parse.h"
+#include "rtl/transform/passes.h"
+
+namespace csl::verif::campaign {
+
+namespace {
+
+std::string
+fnvHex(const std::string &text)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+bool
+validCellName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+/** Escape a free-form string into a single whitespace-free token the
+ * line-oriented channel/manifest formats can carry ("" -> "-"). */
+std::string
+escapeToken(const std::string &text)
+{
+    if (text.empty())
+        return "-";
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case ' ': out += "\\s"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+unescapeToken(const std::string &token)
+{
+    if (token == "-")
+        return "";
+    std::string out;
+    out.reserve(token.size());
+    for (size_t i = 0; i < token.size(); ++i) {
+        if (token[i] != '\\' || i + 1 >= token.size()) {
+            out += token[i];
+            continue;
+        }
+        switch (token[++i]) {
+          case 'n': out += '\n'; break;
+          case 's': out += ' '; break;
+          case 't': out += '\t'; break;
+          default: out += token[i];
+        }
+    }
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::optional<proc::CoreSpec>
+parseCoreName(const std::string &name, defense::Defense def)
+{
+    if (name == "inorder")
+        return proc::inOrderSpec();
+    if (name == "simpleooo")
+        return proc::simpleOoOSpec(def);
+    if (name == "ridelite")
+        return proc::rideLiteSpec(def);
+    if (name == "boomlike")
+        return proc::boomLikeSpec(def);
+    return std::nullopt;
+}
+
+std::optional<defense::Defense>
+parseDefenseName(const std::string &name)
+{
+    if (name == "none")
+        return defense::Defense::None;
+    if (name == "nofwd_fut")
+        return defense::Defense::NoFwdFuturistic;
+    if (name == "nofwd_spectre")
+        return defense::Defense::NoFwdSpectre;
+    if (name == "delay_fut")
+        return defense::Defense::DelayFuturistic;
+    if (name == "delay_spectre")
+        return defense::Defense::DelaySpectre;
+    if (name == "dom")
+        return defense::Defense::DoMSpectre;
+    return std::nullopt;
+}
+
+std::optional<contract::Contract>
+parseContractName(const std::string &name)
+{
+    if (name == "sandboxing")
+        return contract::Contract::Sandboxing;
+    if (name == "ct" || name == "constant-time")
+        return contract::Contract::ConstantTime;
+    return std::nullopt;
+}
+
+std::optional<Scheme>
+parseSchemeName(const std::string &name)
+{
+    if (name == "shadow")
+        return Scheme::ContractShadow;
+    if (name == "baseline")
+        return Scheme::Baseline;
+    if (name == "upec")
+        return Scheme::UpecLike;
+    if (name == "leave")
+        return Scheme::Leave;
+    if (name == "fuzz")
+        return Scheme::Fuzz;
+    return std::nullopt;
+}
+
+// --- Spec parsing ---------------------------------------------------------
+
+std::optional<CampaignSpec>
+CampaignSpec::parse(const std::string &text, std::string *error)
+{
+    auto fail = [&](size_t lineno,
+                    const std::string &why) -> std::optional<CampaignSpec> {
+        if (error)
+            *error = "campaign spec line " + std::to_string(lineno) +
+                     ": " + why;
+        return std::nullopt;
+    };
+
+    CampaignSpec spec;
+    spec.fingerprint = fnvHex(text);
+    std::istringstream in(text);
+    std::string line;
+    size_t lineno = 0;
+    bool headerSeen = false;
+    while (std::getline(in, line)) {
+        ++lineno;
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream ls(line);
+        std::string tag;
+        if (!(ls >> tag))
+            continue;
+        if (tag == "csl-campaign") {
+            int version = -1;
+            ls >> version;
+            if (version != kVersion)
+                return fail(lineno, "unsupported spec version");
+            headerSeen = true;
+            continue;
+        }
+        if (!headerSeen)
+            return fail(lineno, "missing 'csl-campaign 1' header");
+        if (tag != "cell")
+            return fail(lineno, "unknown directive '" + tag + "'");
+
+        CampaignCell cell;
+        if (!(ls >> cell.name) || !validCellName(cell.name))
+            return fail(lineno, "cell needs a name ([A-Za-z0-9._-]+)");
+        for (const CampaignCell &existing : spec.cells)
+            if (existing.name == cell.name)
+                return fail(lineno, "duplicate cell '" + cell.name + "'");
+
+        // Collect key=value pairs first: the core preset depends on the
+        // defense, and hunt-mode defaults depend on an explicit depth,
+        // so application order must not depend on the line's order.
+        std::map<std::string, std::string> kv;
+        std::string pair;
+        while (ls >> pair) {
+            size_t eq = pair.find('=');
+            if (eq == std::string::npos || eq == 0)
+                return fail(lineno, "expected key=value, got '" + pair +
+                                        "'");
+            if (!kv.emplace(pair.substr(0, eq), pair.substr(eq + 1))
+                     .second)
+                return fail(lineno, "duplicate key '" +
+                                        pair.substr(0, eq) + "'");
+        }
+
+        defense::Defense def = defense::Defense::None;
+        if (auto it = kv.find("defense"); it != kv.end()) {
+            auto parsed = parseDefenseName(it->second);
+            if (!parsed)
+                return fail(lineno, "unknown defense '" + it->second +
+                                        "'");
+            def = *parsed;
+            kv.erase(it);
+        }
+        std::string coreName = "simpleooo";
+        if (auto it = kv.find("core"); it != kv.end()) {
+            coreName = it->second;
+            kv.erase(it);
+        }
+        auto core = parseCoreName(coreName, def);
+        if (!core)
+            return fail(lineno, "unknown core '" + coreName + "'");
+        cell.task.core = *core;
+
+        if (auto it = kv.find("hunt"); it != kv.end()) {
+            auto v = parseInt(it->second);
+            if (!v || (*v != 0 && *v != 1))
+                return fail(lineno, "hunt expects 0 or 1");
+            if (*v == 1) {
+                cell.task.tryProof = false;
+                cell.task.assumeSecretsDiffer = true;
+                cell.task.maxDepth = 14; // the cslv --hunt default
+            }
+            kv.erase(it);
+        }
+
+        for (const auto &[key, value] : kv) {
+            if (key == "contract") {
+                auto parsed = parseContractName(value);
+                if (!parsed)
+                    return fail(lineno,
+                                "unknown contract '" + value + "'");
+                cell.task.contract = *parsed;
+            } else if (key == "scheme") {
+                auto parsed = parseSchemeName(value);
+                if (!parsed)
+                    return fail(lineno, "unknown scheme '" + value + "'");
+                cell.task.scheme = *parsed;
+            } else if (key == "depth") {
+                auto v = parseUnsigned(value);
+                if (!v || *v == 0)
+                    return fail(lineno, "bad depth '" + value + "'");
+                cell.task.maxDepth = size_t(*v);
+            } else if (key == "budget") {
+                auto v = parseDouble(value);
+                if (!v || *v <= 0)
+                    return fail(lineno, "bad budget '" + value + "'");
+                cell.task.timeoutSeconds = *v;
+            } else if (key == "rob" || key == "regs" || key == "dmem" ||
+                       key == "imem") {
+                auto v = parseInt(value);
+                if (!v || *v <= 0)
+                    return fail(lineno,
+                                "bad " + key + " '" + value + "'");
+                if (key == "rob")
+                    cell.task.core.ooo.robSize = int(*v);
+                else if (key == "regs")
+                    cell.task.core.ooo.isa.regCount = int(*v);
+                else if (key == "dmem")
+                    cell.task.core.ooo.isa.dmemSize = size_t(*v);
+                else
+                    cell.task.core.ooo.isa.imemSize = size_t(*v);
+            } else if (key == "engines") {
+                auto kinds = mc::parseEngineList(value);
+                if (!kinds || kinds->empty())
+                    return fail(lineno, "bad engine set '" + value + "'");
+                cell.ropts.engines = *kinds;
+            } else if (key == "passes") {
+                if (!rtl::transform::PassManager::parsePipeline(value))
+                    return fail(lineno,
+                                "bad pass pipeline '" + value + "'");
+                cell.ropts.passes = value;
+            } else if (key == "seed") {
+                auto v = parseUnsigned(value);
+                if (!v)
+                    return fail(lineno, "bad seed '" + value + "'");
+                cell.ropts.decisionSeed = *v;
+            } else {
+                return fail(lineno, "unknown key '" + key + "'");
+            }
+        }
+        spec.cells.push_back(std::move(cell));
+    }
+    if (!headerSeen)
+        return fail(1, "missing 'csl-campaign 1' header");
+    if (spec.cells.empty())
+        return fail(lineno ? lineno : 1, "campaign has no cells");
+    return spec;
+}
+
+std::optional<CampaignSpec>
+CampaignSpec::loadFile(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open campaign spec " + path;
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse(text.str(), error);
+}
+
+// --- Worker result channel ------------------------------------------------
+
+std::optional<mc::Verdict>
+parseVerdictName(const std::string &name)
+{
+    for (mc::Verdict v :
+         {mc::Verdict::Attack, mc::Verdict::Proof,
+          mc::Verdict::BoundedSafe, mc::Verdict::Timeout,
+          mc::Verdict::Diagnosed})
+        if (name == mc::verdictName(v))
+            return v;
+    return std::nullopt;
+}
+
+std::string
+encodeCellResult(const CellResult &result)
+{
+    std::ostringstream out;
+    out << "csl-cell-result 1\n";
+    out << "verdict " << mc::verdictName(result.verdict) << "\n";
+    out << "depth " << result.depth << "\n";
+    out << "seconds " << result.seconds << "\n";
+    out << "conflicts " << result.conflicts << "\n";
+    out << "safe-bound " << result.deepestSafeBound << "\n";
+    out << "quarantined " << result.quarantinedWitnesses << "\n";
+    out << "resumed " << (result.resumedFromJournal ? 1 : 0) << "\n";
+    out << "winner " << escapeToken(result.winningEngine) << "\n";
+    out << "detail " << escapeToken(result.detail) << "\n";
+    out << "end\n";
+    return out.str();
+}
+
+std::optional<CellResult>
+parseCellResult(const std::string &channel)
+{
+    std::istringstream in(channel);
+    std::string line;
+    CellResult result;
+    bool headerSeen = false, verdictSeen = false, endSeen = false;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string tag;
+        if (!(ls >> tag))
+            continue;
+        if (tag == "csl-cell-result") {
+            int version = -1;
+            ls >> version;
+            if (version != 1)
+                return std::nullopt;
+            headerSeen = true;
+        } else if (!headerSeen) {
+            return std::nullopt;
+        } else if (tag == "verdict") {
+            std::string name;
+            ls >> name;
+            auto verdict = parseVerdictName(name);
+            if (!verdict)
+                return std::nullopt;
+            result.verdict = *verdict;
+            verdictSeen = true;
+        } else if (tag == "depth") {
+            if (!(ls >> result.depth))
+                return std::nullopt;
+        } else if (tag == "seconds") {
+            if (!(ls >> result.seconds))
+                return std::nullopt;
+        } else if (tag == "conflicts") {
+            if (!(ls >> result.conflicts))
+                return std::nullopt;
+        } else if (tag == "safe-bound") {
+            if (!(ls >> result.deepestSafeBound))
+                return std::nullopt;
+        } else if (tag == "quarantined") {
+            if (!(ls >> result.quarantinedWitnesses))
+                return std::nullopt;
+        } else if (tag == "resumed") {
+            int v = 0;
+            if (!(ls >> v))
+                return std::nullopt;
+            result.resumedFromJournal = v != 0;
+        } else if (tag == "winner") {
+            std::string token;
+            ls >> token;
+            result.winningEngine = unescapeToken(token);
+        } else if (tag == "detail") {
+            std::string token;
+            ls >> token;
+            result.detail = unescapeToken(token);
+        } else if (tag == "end") {
+            endSeen = true;
+            break;
+        }
+        // Unknown tags are ignored: forward-compatible within a version.
+    }
+    if (!headerSeen || !verdictSeen || !endSeen)
+        return std::nullopt;
+    return result;
+}
+
+// --- Campaign manifest ----------------------------------------------------
+
+ManifestCell *
+CampaignManifest::find(const std::string &name)
+{
+    for (ManifestCell &cell : cells)
+        if (cell.name == name)
+            return &cell;
+    return nullptr;
+}
+
+bool
+CampaignManifest::save(const std::string &path) const
+{
+    if (fault::shouldFire("campaign.manifest-write"))
+        return false;
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return false;
+        out << "csl-campaign-manifest " << kVersion << "\n";
+        out << "spec-fingerprint " << specFingerprint << "\n";
+        for (const ManifestCell &cell : cells)
+            out << "cell " << cell.name << " " << cell.status << " "
+                << cell.attempts << " " << cell.degradeLevel << " "
+                << (cell.verdict.empty() ? "-" : cell.verdict) << " "
+                << cell.depth << " " << cell.wallSeconds << " "
+                << cell.cpuSeconds << " "
+                << (cell.lastFailure.empty() ? "-" : cell.lastFailure)
+                << "\n";
+        out.flush();
+        if (!out)
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::optional<CampaignManifest>
+CampaignManifest::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    CampaignManifest manifest;
+    std::string line;
+    bool headerSeen = false;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string tag;
+        if (!(ls >> tag))
+            continue;
+        if (tag == "csl-campaign-manifest") {
+            int version = -1;
+            ls >> version;
+            if (version != kVersion)
+                return std::nullopt;
+            headerSeen = true;
+        } else if (tag == "spec-fingerprint") {
+            ls >> manifest.specFingerprint;
+        } else if (tag == "cell") {
+            ManifestCell cell;
+            if (!(ls >> cell.name >> cell.status >> cell.attempts >>
+                  cell.degradeLevel >> cell.verdict >> cell.depth >>
+                  cell.wallSeconds >> cell.cpuSeconds >>
+                  cell.lastFailure))
+                return std::nullopt;
+            if (cell.verdict == "-")
+                cell.verdict.clear();
+            if (cell.lastFailure == "-")
+                cell.lastFailure.clear();
+            manifest.cells.push_back(std::move(cell));
+        }
+    }
+    if (!headerSeen)
+        return std::nullopt;
+    return manifest;
+}
+
+// --- Campaign report ------------------------------------------------------
+
+std::string
+reportJson(const CampaignReport &report)
+{
+    std::ostringstream oss;
+    oss << "{\"cells\":[";
+    for (size_t i = 0; i < report.cells.size(); ++i) {
+        const CellReport &cell = report.cells[i];
+        oss << (i ? "," : "") << "{\"name\":\"" << jsonEscape(cell.name)
+            << "\",\"status\":\"" << cell.status << "\""
+            << ",\"verdict\":\""
+            << (cell.status == "done"
+                    ? mc::verdictName(cell.result.verdict)
+                    : "")
+            << "\",\"depth\":" << cell.result.depth
+            << ",\"deepestSafeBound\":" << cell.result.deepestSafeBound
+            << ",\"attempts\":" << cell.attempts
+            << ",\"degradeLevel\":" << cell.degradeLevel
+            << ",\"degradeLevelName\":\""
+            << jsonEscape(cell.degradeLevelLabel) << "\""
+            << ",\"winner\":\""
+            << jsonEscape(cell.result.winningEngine) << "\""
+            << ",\"wallSeconds\":" << cell.wallSeconds
+            << ",\"cpuSeconds\":" << cell.cpuSeconds
+            << ",\"detail\":\"" << jsonEscape(cell.result.detail) << "\""
+            << ",\"failures\":[";
+        for (size_t j = 0; j < cell.failures.size(); ++j)
+            oss << (j ? "," : "") << "\"" << jsonEscape(cell.failures[j])
+                << "\"";
+        oss << "]}";
+    }
+    oss << "],\"failedCells\":" << report.failedCells
+        << ",\"pendingCells\":" << report.pendingCells
+        << ",\"interrupted\":" << (report.interrupted ? "true" : "false")
+        << ",\"wallSeconds\":" << report.wallSeconds << "}";
+    return oss.str();
+}
+
+} // namespace csl::verif::campaign

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Campaign descriptions and durable campaign state. A campaign is the
+ * paper's evaluation unit: a matrix of verification cells (Table 2's
+ * scheme x processor grid, Table 3's defense sweep), each a long
+ * model-checking run of untrusted duration. The supervisor
+ * (scheduler.h) runs the cells in worker processes; this file owns the
+ * pieces that must survive the supervisor itself dying:
+ *
+ *  - CampaignSpec: parsed from a small text file, one `cell` line per
+ *    task (same names as the cslv flags).
+ *  - the worker result channel: the structured record a worker writes
+ *    to its pipe (encode/parse; an unparsable channel is a triaged
+ *    failure class, not a crash).
+ *  - CampaignManifest: per-cell status written with the same atomic
+ *    tmp+rename discipline as verif/journal.cc after every state
+ *    change, so `cslv --campaign-resume` after a SIGKILL of the
+ *    supervisor re-runs only the unfinished cells.
+ *
+ * Spec format (line-oriented; '#' starts a comment):
+ *
+ *   csl-campaign 1
+ *   cell sodor        core=inorder
+ *   cell delay-proof  core=simpleooo defense=delay_spectre
+ *   cell simple-hunt  core=simpleooo hunt=1 depth=12 budget=60
+ *
+ * Recognized keys: core, defense, contract, scheme, depth, budget,
+ * hunt, rob, regs, dmem, imem, engines, passes, seed.
+ */
+
+#ifndef CSL_VERIF_CAMPAIGN_CAMPAIGN_H_
+#define CSL_VERIF_CAMPAIGN_CAMPAIGN_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verif/campaign/triage.h"
+#include "verif/runner.h"
+#include "verif/task.h"
+
+namespace csl::verif::campaign {
+
+/** Flag-name parsers shared with cslv (nullopt on unknown names). */
+std::optional<proc::CoreSpec> parseCoreName(const std::string &name,
+                                            defense::Defense def);
+std::optional<defense::Defense> parseDefenseName(const std::string &name);
+std::optional<contract::Contract> parseContractName(
+    const std::string &name);
+std::optional<Scheme> parseSchemeName(const std::string &name);
+
+/** One cell of the campaign matrix. */
+struct CampaignCell
+{
+    std::string name; ///< manifest key; [A-Za-z0-9._-]+, unique
+    VerificationTask task;
+    RunnerOptions ropts; ///< engines/passes/seed from the spec
+};
+
+/** A parsed campaign description. */
+struct CampaignSpec
+{
+    static constexpr int kVersion = 1;
+
+    std::vector<CampaignCell> cells;
+
+    /** FNV-1a of the spec text; guards manifest resume the same way
+     * the circuit fingerprint guards journal resume. */
+    std::string fingerprint;
+
+    /**
+     * Parse a spec file. On failure returns nullopt and, when @p error
+     * is non-null, a one-line diagnostic naming the offending line.
+     */
+    static std::optional<CampaignSpec> loadFile(const std::string &path,
+                                                std::string *error);
+
+    /** Parse spec text directly (loadFile's core; tests use this). */
+    static std::optional<CampaignSpec> parse(const std::string &text,
+                                             std::string *error);
+};
+
+// --- Worker result channel ------------------------------------------------
+
+/**
+ * The structured record a worker writes to its pipe: the verdict plus
+ * the telemetry the campaign report aggregates. Deliberately tiny -
+ * the full attack report and journal live in the cell's journal file,
+ * which the worker also writes; the pipe carries only what the
+ * supervisor needs to triage and report.
+ */
+struct CellResult
+{
+    mc::Verdict verdict = mc::Verdict::Timeout;
+    size_t depth = 0;
+    double seconds = 0;
+    uint64_t conflicts = 0;
+    size_t deepestSafeBound = 0;
+    size_t quarantinedWitnesses = 0;
+    bool resumedFromJournal = false;
+    std::string winningEngine;
+    std::string detail; ///< newline-escaped single line
+};
+
+/** Serialize for the pipe (header + key lines + `end` terminator). */
+std::string encodeCellResult(const CellResult &result);
+
+/**
+ * Parse a worker channel. nullopt when the header or the `end`
+ * terminator is missing or a field is malformed - the caller triages
+ * that as FailureClass::CorruptOutput.
+ */
+std::optional<CellResult> parseCellResult(const std::string &channel);
+
+/** Name <-> enum for verdicts crossing the pipe ("PROOF", ...). */
+std::optional<mc::Verdict> parseVerdictName(const std::string &name);
+
+// --- Campaign manifest ----------------------------------------------------
+
+/** Durable per-cell progress, one record per cell. */
+struct ManifestCell
+{
+    std::string name;
+    /** "pending" | "done" | "failed" (permanently). */
+    std::string status = "pending";
+    size_t attempts = 0;
+    size_t degradeLevel = 0;
+    /** Verdict name once done ("-" in the file while pending). */
+    std::string verdict;
+    size_t depth = 0;
+    double wallSeconds = 0;
+    double cpuSeconds = 0;
+    /** Last triaged failure class ("-" when none). */
+    std::string lastFailure;
+
+    bool finished() const { return status != "pending"; }
+};
+
+struct CampaignManifest
+{
+    static constexpr int kVersion = 1;
+
+    std::string specFingerprint;
+    std::vector<ManifestCell> cells;
+
+    ManifestCell *find(const std::string &name);
+
+    /** Atomic tmp+rename write, like Journal::save. Also a
+     * `campaign.manifest-write` fault site for the triage tests. */
+    bool save(const std::string &path) const;
+
+    static std::optional<CampaignManifest> load(const std::string &path);
+};
+
+// --- Campaign report ------------------------------------------------------
+
+/** Final per-cell accounting (superset of the manifest record). */
+struct CellReport
+{
+    std::string name;
+    std::string status; ///< "done" | "failed" | "pending" (interrupted)
+    CellResult result;  ///< valid when status == "done"
+    size_t attempts = 0;
+    size_t degradeLevel = 0;
+    std::string degradeLevelLabel;
+    double wallSeconds = 0; ///< summed over attempts
+    double cpuSeconds = 0;  ///< summed over attempts (rusage)
+    /** One entry per failed attempt: "crash-signal(sig=9)" etc. */
+    std::vector<std::string> failures;
+};
+
+struct CampaignReport
+{
+    std::vector<CellReport> cells;
+    size_t failedCells = 0;   ///< permanently failed
+    size_t pendingCells = 0;  ///< left unfinished (interrupt/SIGKILL)
+    bool interrupted = false; ///< SIGINT/SIGTERM cut the campaign short
+    double wallSeconds = 0;
+
+    /** Every cell that ran to a verdict, even degraded ones. */
+    bool complete() const { return failedCells == 0 && pendingCells == 0; }
+};
+
+/** Machine-readable aggregation (the --json campaign output). */
+std::string reportJson(const CampaignReport &report);
+
+} // namespace csl::verif::campaign
+
+#endif // CSL_VERIF_CAMPAIGN_CAMPAIGN_H_

@@ -1,0 +1,608 @@
+#include "verif/campaign/scheduler.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <new>
+#include <sstream>
+
+#include "base/faultpoint.h"
+#include "base/logging.h"
+#include "base/stopwatch.h"
+
+namespace csl::verif::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// --- Supervisor signal handling -------------------------------------------
+
+/** The signal the supervisor received (0 = none). Plain sig_atomic_t:
+ * the handler only stores; the poll loop, woken by EINTR, reads. */
+volatile sig_atomic_t g_signal = 0;
+
+void
+onSignal(int sig)
+{
+    g_signal = sig;
+}
+
+/** RAII install/restore of the supervisor's SIGINT/SIGTERM handlers. */
+class ScopedSignalHandlers
+{
+  public:
+    ScopedSignalHandlers()
+    {
+        g_signal = 0;
+        struct sigaction sa = {};
+        sa.sa_handler = onSignal;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = 0; // no SA_RESTART: poll must wake with EINTR
+        sigaction(SIGINT, &sa, &old_int_);
+        sigaction(SIGTERM, &sa, &old_term_);
+    }
+    ~ScopedSignalHandlers()
+    {
+        sigaction(SIGINT, &old_int_, nullptr);
+        sigaction(SIGTERM, &old_term_, nullptr);
+        g_signal = 0;
+    }
+
+  private:
+    struct sigaction old_int_ = {}, old_term_ = {};
+};
+
+// --- Worker body ----------------------------------------------------------
+
+/** Supervisor-chosen fault injection for one launch (the shouldFire
+ * accounting happens in the supervisor so a site armed once injures
+ * exactly ONE worker attempt across the whole campaign, mirroring the
+ * fire-once contract of base/faultpoint). */
+enum class InjectedFault { None, Crash, Hang, Oom, CorruptResult };
+
+void
+writeAll(int fd, const std::string &text)
+{
+    size_t off = 0;
+    while (off < text.size()) {
+        ssize_t n = write(fd, text.data() + off, text.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // supervisor gone; nothing useful left to do
+        }
+        off += size_t(n);
+    }
+}
+
+int g_oomFd = -1; // result fd for the new-handler (worker is
+                  // single-purpose; a global is the only way in)
+
+[[noreturn]] void
+oomHandler()
+{
+    // Allocation failed under RLIMIT_AS. Nothing that allocates is safe
+    // here; report through the raw fd and the dedicated exit code.
+    if (g_oomFd >= 0) {
+        static const char msg[] = "csl-cell-oom\n";
+        ssize_t ignored = write(g_oomFd, msg, sizeof(msg) - 1);
+        (void)ignored;
+    }
+    _exit(kOomExitCode);
+}
+
+/** The real worker body: resume-or-start the cell's verification at
+ * the given degradation level and report through the pipe. */
+int
+workerMain(const CampaignCell &cell, size_t level,
+           const std::string &journalPath, InjectedFault injected, int fd)
+{
+    switch (injected) {
+      case InjectedFault::Crash:
+        raise(SIGKILL);
+        break;
+      case InjectedFault::Hang:
+        for (;;)
+            pause(); // burns no CPU: only the wall cap can end this
+      case InjectedFault::Oom:
+        // Simulate the new-handler path deterministically (actually
+        // allocating to death would also work under RLIMIT_AS but
+        // would eat real RAM on uncapped runs).
+        oomHandler();
+      case InjectedFault::CorruptResult: {
+        writeAll(fd, "csl-cell-result 1\nverdict PR"); // truncated
+        return 0;
+      }
+      case InjectedFault::None:
+        break;
+    }
+
+    g_oomFd = fd;
+    std::set_new_handler(oomHandler);
+
+    VerificationTask task = cell.task;
+    RunnerOptions ropts = cell.ropts;
+    applyDegradation(level, task, ropts);
+
+    CellResult result;
+    const bool staged = task.scheme == Scheme::ContractShadow ||
+                        task.scheme == Scheme::Baseline ||
+                        task.scheme == Scheme::UpecLike;
+    if (staged) {
+        if (!journalPath.empty()) {
+            ropts.journalPath = journalPath;
+            // Warm-start whenever a previous attempt checkpointed; the
+            // runner's fingerprint/pipeline guards reject anything that
+            // does not transfer.
+            ropts.resume = Journal::load(journalPath).has_value();
+        }
+        RunnerResult rr = runResilientVerification(task, ropts);
+        result.verdict = rr.result.verdict;
+        result.depth = rr.result.depth;
+        result.seconds = rr.result.seconds;
+        result.conflicts = rr.result.conflicts;
+        result.deepestSafeBound = rr.deepestSafeBound;
+        result.quarantinedWitnesses = rr.quarantinedWitnesses;
+        result.resumedFromJournal = rr.resumed;
+        result.winningEngine = rr.winningEngine;
+        result.detail = rr.result.detail;
+    } else {
+        // LEAVE / fuzz cells are not staged; run them directly.
+        VerificationResult vres = runVerification(task);
+        result.verdict = vres.verdict;
+        result.depth = vres.depth;
+        result.seconds = vres.seconds;
+        result.conflicts = vres.conflicts;
+        result.detail = vres.detail;
+    }
+    writeAll(fd, encodeCellResult(result));
+    return 0;
+}
+
+// --- Per-cell supervisor state --------------------------------------------
+
+enum class CellState { Pending, Backoff, Running, Done, Failed };
+
+struct Cell
+{
+    CampaignCell spec;
+    size_t index = 0;
+    CellState state = CellState::Pending;
+    size_t attempts = 0;
+    size_t level = 0;
+    size_t failsAtLevel = 0;
+    Clock::time_point readyAt = Clock::time_point::min();
+    double wallSeconds = 0;
+    double cpuSeconds = 0;
+    std::vector<std::string> failures;
+    CellResult outcome;
+
+    // Running-attempt bookkeeping.
+    pid_t pid = -1;
+    int fd = -1;
+    std::string buf;
+    Clock::time_point startedAt;
+    Clock::time_point wallDeadline;
+    bool wallKilled = false;
+};
+
+double
+secondsBetween(Clock::time_point from, Clock::time_point to)
+{
+    return std::chrono::duration<double>(to - from).count();
+}
+
+} // namespace
+
+CampaignReport
+runCampaign(const CampaignSpec &spec, const CampaignOptions &options)
+{
+    Stopwatch watch;
+    CampaignReport report;
+    const size_t slots = std::max<size_t>(options.workers, 1);
+    const bool durable = !options.statePrefix.empty();
+    const std::string manifestPath = options.statePrefix + ".manifest";
+
+    auto say = [&](const std::string &line) {
+        if (options.onEvent)
+            options.onEvent(line);
+    };
+
+    std::vector<Cell> cells(spec.cells.size());
+    for (size_t i = 0; i < spec.cells.size(); ++i) {
+        cells[i].spec = spec.cells[i];
+        cells[i].index = i;
+    }
+
+    CampaignManifest manifest;
+    manifest.specFingerprint = spec.fingerprint;
+    for (const Cell &cell : cells) {
+        ManifestCell rec;
+        rec.name = cell.spec.name;
+        manifest.cells.push_back(std::move(rec));
+    }
+
+    // --- Resume: adopt finished cells from a matching manifest ----------
+    if (durable && options.resume) {
+        auto loaded = CampaignManifest::load(manifestPath);
+        if (!loaded) {
+            csl_warn("no campaign manifest at ", manifestPath,
+                     "; starting fresh");
+        } else if (loaded->specFingerprint != spec.fingerprint) {
+            csl_warn("campaign manifest ", manifestPath,
+                     " belongs to a different spec (fingerprint ",
+                     loaded->specFingerprint, " vs ", spec.fingerprint,
+                     "); starting fresh");
+        } else {
+            for (Cell &cell : cells) {
+                const ManifestCell *rec = loaded->find(cell.spec.name);
+                if (!rec)
+                    continue;
+                cell.attempts = rec->attempts;
+                cell.level = rec->degradeLevel;
+                cell.wallSeconds = rec->wallSeconds;
+                cell.cpuSeconds = rec->cpuSeconds;
+                if (!rec->lastFailure.empty())
+                    cell.failures.push_back("(before resume) " +
+                                            rec->lastFailure);
+                if (rec->status == "done") {
+                    cell.state = CellState::Done;
+                    cell.outcome.depth = rec->depth;
+                    if (auto v = parseVerdictName(rec->verdict))
+                        cell.outcome.verdict = *v;
+                    *manifest.find(cell.spec.name) = *rec;
+                } else if (rec->status == "failed") {
+                    cell.state = CellState::Failed;
+                    *manifest.find(cell.spec.name) = *rec;
+                } else {
+                    // Unfinished: re-queue, keeping the attempt/level
+                    // history (a crashed supervisor must not reset a
+                    // cell's ladder position).
+                    ManifestCell *mine = manifest.find(cell.spec.name);
+                    *mine = *rec;
+                    mine->status = "pending";
+                }
+            }
+            say("campaign: resumed manifest, " +
+                std::to_string(std::count_if(
+                    cells.begin(), cells.end(),
+                    [](const Cell &c) {
+                        return c.state == CellState::Done ||
+                               c.state == CellState::Failed;
+                    })) +
+                "/" + std::to_string(cells.size()) +
+                " cells already settled");
+        }
+    }
+
+    auto checkpointManifest = [&](const char *boundary) {
+        if (!durable)
+            return;
+        if (!manifest.save(manifestPath)) {
+            csl_warn("campaign manifest write failed at ", boundary,
+                     "; continuing without durability");
+            return;
+        }
+        // Crash injection for the supervisor kill/resume test: die only
+        // after the manifest is durably on disk, like a real SIGKILL.
+        if (fault::shouldFire("campaign.supervisor-kill"))
+            raise(SIGKILL);
+    };
+    checkpointManifest("start");
+
+    // --- Launch one attempt of a cell -----------------------------------
+    auto launch = [&](Cell &cell) {
+        // Supervisor-side fault selection: fire-once across the whole
+        // campaign, so "one cell fault-injected to crash" means one.
+        InjectedFault injected = InjectedFault::None;
+        if (fault::shouldFire("campaign.worker-crash"))
+            injected = InjectedFault::Crash;
+        else if (fault::shouldFire("campaign.worker-hang"))
+            injected = InjectedFault::Hang;
+        else if (fault::shouldFire("campaign.worker-oom"))
+            injected = InjectedFault::Oom;
+        else if (fault::shouldFire("campaign.corrupt-result"))
+            injected = InjectedFault::CorruptResult;
+
+        SubprocessLimits limits;
+        limits.cpuSeconds = options.cpuLimitSeconds;
+        limits.memoryBytes = options.memLimitBytes;
+        const std::string journalPath =
+            durable ? options.statePrefix + "." + cell.spec.name +
+                          ".journal"
+                    : "";
+        const size_t level = cell.level;
+        const CampaignCell cellSpec = cell.spec; // copy for the child
+        auto body = [&, cellSpec, level, journalPath,
+                     injected](int fd) -> int {
+            if (options.workerBody && injected == InjectedFault::None)
+                return options.workerBody(cellSpec, level, fd);
+            return workerMain(cellSpec, level, journalPath, injected, fd);
+        };
+        auto child = spawnSubprocess(limits, body);
+        if (!child) {
+            // fork/pipe failure is a supervisor-host problem, not a
+            // cell problem; retry the cell after a backoff.
+            ++cell.attempts;
+            cell.failures.push_back("spawn-failed");
+            cell.state = CellState::Backoff;
+            cell.readyAt =
+                Clock::now() +
+                std::chrono::milliseconds(backoffMillis(
+                    std::max<uint64_t>(options.backoffBaseMs, 100),
+                    options.backoffSeed, cell.index, cell.attempts));
+            return;
+        }
+        ++cell.attempts;
+        cell.state = CellState::Running;
+        cell.pid = child->pid;
+        cell.fd = child->fd;
+        cell.buf.clear();
+        cell.wallKilled = false;
+        cell.startedAt = Clock::now();
+        const double wallCap =
+            cell.spec.task.timeoutSeconds + options.wallSlackSeconds;
+        cell.wallDeadline =
+            cell.startedAt +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(wallCap));
+        ManifestCell *rec = manifest.find(cell.spec.name);
+        rec->attempts = cell.attempts;
+        rec->degradeLevel = cell.level;
+        say("cell " + cell.spec.name + ": attempt " +
+            std::to_string(cell.attempts) + " [" +
+            degradeLevelName(cell.level) + "] pid " +
+            std::to_string(cell.pid) +
+            (injected != InjectedFault::None ? " (fault injected)" : ""));
+    };
+
+    // --- Finish one attempt and triage it -------------------------------
+    auto finalize = [&](Cell &cell) {
+        close(cell.fd);
+        cell.fd = -1;
+        SubprocessStatus status = waitSubprocess(cell.pid);
+        cell.pid = -1;
+        cell.wallSeconds += secondsBetween(cell.startedAt, Clock::now());
+        cell.cpuSeconds += status.cpuSeconds;
+
+        auto parsed = parseCellResult(cell.buf);
+        FailureClass cls =
+            classifyAttempt(status, cell.wallKilled, parsed.has_value());
+        ManifestCell *rec = manifest.find(cell.spec.name);
+        rec->wallSeconds = cell.wallSeconds;
+        rec->cpuSeconds = cell.cpuSeconds;
+
+        if (cls == FailureClass::CleanVerdict) {
+            cell.state = CellState::Done;
+            cell.outcome = *parsed;
+            rec->status = "done";
+            rec->verdict = mc::verdictName(parsed->verdict);
+            rec->depth = parsed->depth;
+            rec->degradeLevel = cell.level;
+            say("cell " + cell.spec.name + ": " + rec->verdict +
+                " depth=" + std::to_string(parsed->depth) + " [" +
+                degradeLevelName(cell.level) + "] after " +
+                std::to_string(cell.attempts) + " attempt(s)");
+            checkpointManifest("cell-done");
+            return;
+        }
+
+        std::ostringstream why;
+        why << failureClassName(cls);
+        if (status.signaled)
+            why << "(sig=" << status.termSignal << ")";
+        else if (status.exited)
+            why << "(exit=" << status.exitCode << ")";
+        cell.failures.push_back(why.str());
+        rec->lastFailure = failureClassName(cls);
+        say("cell " + cell.spec.name + ": attempt " +
+            std::to_string(cell.attempts) + " died: " + why.str());
+
+        // Degradation policy: transient classes get retriesPerLevel
+        // same-configuration retries; resource exhaustion skips
+        // straight down the ladder (the same configuration would just
+        // exhaust again).
+        bool degrade;
+        if (isTransient(cls)) {
+            ++cell.failsAtLevel;
+            degrade = cell.failsAtLevel > options.retriesPerLevel;
+        } else {
+            degrade = true;
+        }
+        if (degrade) {
+            cell.failsAtLevel = 0;
+            if (cell.level >= kMaxDegradeLevel) {
+                cell.state = CellState::Failed;
+                rec->status = "failed";
+                say("cell " + cell.spec.name +
+                    ": permanently failed (ladder exhausted)");
+                checkpointManifest("cell-failed");
+                return;
+            }
+            ++cell.level;
+            rec->degradeLevel = cell.level;
+            say("cell " + cell.spec.name + ": degrading to [" +
+                degradeLevelName(cell.level) + "]");
+        }
+        cell.state = CellState::Backoff;
+        cell.readyAt = Clock::now() +
+                       std::chrono::milliseconds(backoffMillis(
+                           options.backoffBaseMs, options.backoffSeed,
+                           cell.index, cell.attempts));
+        checkpointManifest("cell-retry");
+    };
+
+    // --- Interrupt: forward to workers, flush, bail ---------------------
+    auto interrupt = [&](int sig) {
+        report.interrupted = true;
+        say("campaign: interrupted (signal " + std::to_string(sig) +
+            "), forwarding to workers");
+        for (Cell &cell : cells)
+            if (cell.state == CellState::Running)
+                kill(cell.pid, sig == SIGINT ? SIGINT : SIGTERM);
+        // Grace period for orderly worker deaths, then the hammer.
+        Clock::time_point grace =
+            Clock::now() + std::chrono::milliseconds(2000);
+        for (Cell &cell : cells) {
+            if (cell.state != CellState::Running)
+                continue;
+            for (;;) {
+                if (tryWaitSubprocess(cell.pid)) {
+                    cell.pid = -1;
+                    break;
+                }
+                if (Clock::now() >= grace) {
+                    kill(cell.pid, SIGKILL);
+                    waitSubprocess(cell.pid);
+                    cell.pid = -1;
+                    break;
+                }
+                poll(nullptr, 0, 20);
+            }
+            close(cell.fd);
+            cell.fd = -1;
+            cell.wallSeconds +=
+                secondsBetween(cell.startedAt, Clock::now());
+            cell.state = CellState::Pending; // resumable, not failed
+        }
+        checkpointManifest("interrupt");
+    };
+
+    // --- The poll loop ----------------------------------------------------
+    ScopedSignalHandlers handlers;
+    for (;;) {
+        if (g_signal != 0) {
+            interrupt(int(g_signal));
+            break;
+        }
+
+        // Promote backoff cells whose timer elapsed.
+        const Clock::time_point now = Clock::now();
+        for (Cell &cell : cells)
+            if (cell.state == CellState::Backoff && now >= cell.readyAt)
+                cell.state = CellState::Pending;
+
+        // Fill free worker slots.
+        size_t running = size_t(std::count_if(
+            cells.begin(), cells.end(), [](const Cell &c) {
+                return c.state == CellState::Running;
+            }));
+        for (Cell &cell : cells) {
+            if (running >= slots)
+                break;
+            if (cell.state != CellState::Pending)
+                continue;
+            launch(cell);
+            if (cell.state == CellState::Running)
+                ++running;
+        }
+
+        // Done?
+        bool anyLeft = std::any_of(
+            cells.begin(), cells.end(), [](const Cell &c) {
+                return c.state != CellState::Done &&
+                       c.state != CellState::Failed;
+            });
+        if (!anyLeft)
+            break;
+
+        // Poll timeout: the nearest of any wall deadline or backoff
+        // timer, clamped so supervisor housekeeping stays responsive.
+        Clock::time_point wake = Clock::now() +
+                                 std::chrono::milliseconds(500);
+        for (const Cell &cell : cells) {
+            if (cell.state == CellState::Running)
+                wake = std::min(wake, cell.wallDeadline);
+            else if (cell.state == CellState::Backoff)
+                wake = std::min(wake, cell.readyAt);
+        }
+        long timeout_ms = std::chrono::duration_cast<
+                              std::chrono::milliseconds>(wake -
+                                                         Clock::now())
+                              .count();
+        timeout_ms = std::max<long>(timeout_ms, 0);
+
+        std::vector<struct pollfd> pfds;
+        std::vector<Cell *> pfdCells;
+        for (Cell &cell : cells)
+            if (cell.state == CellState::Running) {
+                pfds.push_back({cell.fd, POLLIN, 0});
+                pfdCells.push_back(&cell);
+            }
+        int ready = poll(pfds.empty() ? nullptr : pfds.data(),
+                         nfds_t(pfds.size()), int(timeout_ms));
+        if (ready < 0 && errno == EINTR)
+            continue; // signal: handled at the top of the loop
+
+        // Drain readable pipes; EOF finalizes the attempt.
+        for (size_t i = 0; i < pfds.size(); ++i) {
+            if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            Cell &cell = *pfdCells[i];
+            char buf[4096];
+            for (;;) {
+                ssize_t n = read(cell.fd, buf, sizeof(buf));
+                if (n > 0) {
+                    cell.buf.append(buf, size_t(n));
+                    if (n == ssize_t(sizeof(buf)))
+                        continue; // more may be queued
+                    break;
+                }
+                if (n < 0 && errno == EINTR)
+                    continue;
+                if (n == 0)
+                    finalize(cell); // EOF: the worker is gone
+                break;
+            }
+        }
+
+        // Enforce wall caps on whoever is still running.
+        const Clock::time_point after = Clock::now();
+        for (Cell &cell : cells) {
+            if (cell.state != CellState::Running ||
+                after < cell.wallDeadline || cell.wallKilled)
+                continue;
+            cell.wallKilled = true;
+            kill(cell.pid, SIGKILL);
+            say("cell " + cell.spec.name + ": wall cap hit, killed");
+            // EOF on the pipe follows and finalizes the attempt.
+        }
+    }
+
+    // --- Assemble the report ----------------------------------------------
+    report.wallSeconds = watch.seconds();
+    for (Cell &cell : cells) {
+        CellReport cr;
+        cr.name = cell.spec.name;
+        cr.attempts = cell.attempts;
+        cr.degradeLevel = cell.level;
+        cr.degradeLevelLabel = degradeLevelName(cell.level);
+        cr.wallSeconds = cell.wallSeconds;
+        cr.cpuSeconds = cell.cpuSeconds;
+        cr.failures = cell.failures;
+        switch (cell.state) {
+          case CellState::Done:
+            cr.status = "done";
+            cr.result = cell.outcome;
+            break;
+          case CellState::Failed:
+            cr.status = "failed";
+            ++report.failedCells;
+            break;
+          default:
+            cr.status = "pending";
+            ++report.pendingCells;
+            break;
+        }
+        report.cells.push_back(std::move(cr));
+    }
+    return report;
+}
+
+} // namespace csl::verif::campaign

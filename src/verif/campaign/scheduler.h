@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The campaign supervisor: runs every cell of a CampaignSpec in its
+ * own worker process under resource caps, triages worker deaths
+ * (triage.h), retries transient failures with backoff, degrades
+ * persistently failing cells down the ladder, and keeps the campaign
+ * manifest durable across a SIGKILL of the supervisor itself.
+ *
+ * Architecture: a SINGLE-THREADED poll loop. Workers are forked, never
+ * threaded - forking from a multithreaded process and then running
+ * arbitrary code in the child is undefined behaviour waiting to
+ * happen, and one crashing worker taking down its siblings is exactly
+ * what this layer exists to prevent. The loop multiplexes all worker
+ * result pipes plus the wall-clock caps and backoff timers through one
+ * poll(); there is no blocking wait on any single worker.
+ *
+ * Failure containment contract: whatever a worker does - SIGSEGV, OOM,
+ * runaway loop, garbage on its pipe - the other cells keep running and
+ * the campaign report still carries one entry per cell. Only
+ * SIGINT/SIGTERM (forwarded to workers, manifest flushed) and SIGKILL
+ * (manifest already durable; --campaign-resume continues) end a
+ * campaign early.
+ *
+ * Each worker checkpoints the PR-2 journal of its cell, so a retried
+ * or degraded attempt RESUMES the cell's verification instead of
+ * restarting it (safe bounds and proven invariants carry over whenever
+ * the journal's reduction pipeline still matches).
+ */
+
+#ifndef CSL_VERIF_CAMPAIGN_SCHEDULER_H_
+#define CSL_VERIF_CAMPAIGN_SCHEDULER_H_
+
+#include <functional>
+#include <string>
+
+#include "verif/campaign/campaign.h"
+
+namespace csl::verif::campaign {
+
+/** Supervisor knobs (cslv: --workers, --cpu-limit, --mem-limit). */
+struct CampaignOptions
+{
+    /** Parallel worker slots. */
+    size_t workers = 1;
+
+    /** Per-attempt RLIMIT_CPU in seconds (0 = uncapped). */
+    double cpuLimitSeconds = 0;
+
+    /** Per-attempt RLIMIT_AS in bytes (0 = uncapped). */
+    size_t memLimitBytes = 0;
+
+    /** Wall cap per attempt = the cell's budget + this slack (circuit
+     * build + reduction happen before the budget clock bites). */
+    double wallSlackSeconds = 30;
+
+    /** Transient-failure retries at a ladder level before degrading. */
+    size_t retriesPerLevel = 1;
+
+    /** Base backoff before a retry; see triage backoffMillis. Tests
+     * set 0/1 so schedules stay instant. */
+    uint64_t backoffBaseMs = 500;
+
+    /** Seed of the deterministic jitter. */
+    uint64_t backoffSeed = 1;
+
+    /**
+     * Prefix for the campaign's durable state: the manifest at
+     * `<prefix>.manifest` and per-cell journals at
+     * `<prefix>.<cell>.journal`. Empty disables durability (no
+     * manifest, no journals, no resume).
+     */
+    std::string statePrefix;
+
+    /** Adopt finished cells from an existing manifest whose spec
+     * fingerprint matches (cslv --campaign-resume). */
+    bool resume = false;
+
+    /**
+     * Test seam: when set, workers run this in the child instead of
+     * the real verification body (must write a result channel to the
+     * fd and return an exit code). The subprocess machinery, triage,
+     * backoff and manifest paths stay identical.
+     */
+    std::function<int(const CampaignCell &, size_t level, int fd)>
+        workerBody;
+
+    /** Progress sink (one human-readable line per event); cslv wires
+     * this to stdout. Null = silent. */
+    std::function<void(const std::string &)> onEvent;
+};
+
+/**
+ * Run the campaign to completion (or interruption). Never throws on
+ * worker misbehaviour; the report has one entry per cell regardless.
+ */
+CampaignReport runCampaign(const CampaignSpec &spec,
+                           const CampaignOptions &options);
+
+} // namespace csl::verif::campaign
+
+#endif // CSL_VERIF_CAMPAIGN_SCHEDULER_H_

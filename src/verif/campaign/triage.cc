@@ -1,0 +1,111 @@
+#include "verif/campaign/triage.h"
+
+#include <signal.h>
+
+#include <algorithm>
+
+namespace csl::verif::campaign {
+
+const char *
+failureClassName(FailureClass cls)
+{
+    switch (cls) {
+      case FailureClass::CleanVerdict: return "clean";
+      case FailureClass::WallTimeout: return "wall-timeout";
+      case FailureClass::CpuTimeout: return "cpu-timeout";
+      case FailureClass::Oom: return "oom";
+      case FailureClass::CrashSignal: return "crash-signal";
+      case FailureClass::CorruptOutput: return "corrupt-output";
+    }
+    return "?";
+}
+
+FailureClass
+classifyAttempt(const SubprocessStatus &status, bool wallExpired,
+                bool channelParsed)
+{
+    if (wallExpired)
+        return FailureClass::WallTimeout;
+    if (status.signaled) {
+        // SIGXCPU is RLIMIT_CPU's soft limit; the hard limit's SIGKILL
+        // backstop lands one second later, after the same amount of CPU
+        // burn, so both spell "CPU cap". A SIGKILL without that much
+        // CPU time is somebody killing the worker (OOM killer, injected
+        // crash, operator) - the OOM killer case is indistinguishable
+        // from here, and both triage the same way at first: retry.
+        if (status.termSignal == SIGXCPU)
+            return FailureClass::CpuTimeout;
+        return FailureClass::CrashSignal;
+    }
+    if (status.exited && status.exitCode == kOomExitCode)
+        return FailureClass::Oom;
+    if (!channelParsed)
+        return FailureClass::CorruptOutput;
+    return FailureClass::CleanVerdict;
+}
+
+bool
+isTransient(FailureClass cls)
+{
+    return cls == FailureClass::CrashSignal ||
+           cls == FailureClass::CorruptOutput;
+}
+
+uint64_t
+backoffMillis(uint64_t baseMs, uint64_t seed, size_t cellIndex,
+              size_t attempt)
+{
+    if (baseMs == 0)
+        return 0;
+    const uint64_t exponent = std::min<uint64_t>(
+        attempt == 0 ? 0 : uint64_t(attempt) - 1, 6);
+    const uint64_t delay = baseMs << exponent;
+    // splitmix64 over (seed, cell, attempt): stable across runs, spread
+    // across cells.
+    uint64_t z = seed + 0x9E3779B97F4A7C15ull * (cellIndex * 131 +
+                                                 attempt + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    const uint64_t jitterSpan = std::max<uint64_t>(baseMs / 2, 1);
+    return delay + z % jitterSpan;
+}
+
+const char *
+degradeLevelName(size_t level)
+{
+    switch (level) {
+      case 0: return "portfolio";
+      case 1: return "bmc-only";
+      case 2: return "light-passes";
+      case 3: return "bounded";
+    }
+    return "?";
+}
+
+void
+applyDegradation(size_t level, VerificationTask &task,
+                 RunnerOptions &ropts)
+{
+    if (level >= 1) {
+        // One engine, no portfolio threads: both the smallest memory
+        // footprint and the fewest moving parts when workers crash.
+        ropts.engines = {mc::EngineKind::Bmc};
+        ropts.houdiniThreads = 1;
+    }
+    if (level >= 2) {
+        // Keep the cheap structural shrink (cone-of-influence + dead
+        // code), drop the rewriting passes.
+        ropts.passes = "coi,dce";
+    }
+    if (level >= 3) {
+        // Last rung: a bounded sweep at half depth. An honest
+        // BoundedSafe with a real bound beats a permanently failed
+        // cell.
+        task.tryProof = false;
+        task.autoStrengthen = false;
+        task.maxDepth = std::max<size_t>(task.maxDepth / 2, 4);
+    }
+}
+
+} // namespace csl::verif::campaign

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Crash triage for campaign workers: classify how a worker process
+ * ended, decide whether that class is worth retrying, schedule the
+ * retry (exponential backoff with deterministic jitter), and - when
+ * retries at a configuration keep failing - walk the graceful-
+ * degradation ladder toward a cheaper configuration that still yields
+ * an honest verdict.
+ *
+ * The taxonomy mirrors what a long JasperGold-style batch actually
+ * dies of: the solver ran out of wall clock (the parent killed it),
+ * out of CPU (RLIMIT_CPU), out of memory (RLIMIT_AS / the OOM
+ * killer), crashed on a bug (SIGSEGV and friends), or came back with
+ * a result channel the supervisor cannot parse (truncated write,
+ * corrupted pipe). Everything else is a clean verdict.
+ */
+
+#ifndef CSL_VERIF_CAMPAIGN_TRIAGE_H_
+#define CSL_VERIF_CAMPAIGN_TRIAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/subprocess.h"
+#include "verif/runner.h"
+#include "verif/task.h"
+
+namespace csl::verif::campaign {
+
+/** How one worker attempt ended. */
+enum class FailureClass {
+    CleanVerdict, ///< parsed result channel + normal exit
+    WallTimeout,  ///< supervisor killed it at the wall-clock cap
+    CpuTimeout,   ///< RLIMIT_CPU tripped (SIGXCPU / SIGKILL backstop)
+    Oom,          ///< allocation failed under RLIMIT_AS (kOomExitCode)
+                  ///< or the kernel OOM killer struck
+    CrashSignal,  ///< any other terminating signal (SIGSEGV, SIGABRT,
+                  ///< an injected SIGKILL, ...)
+    CorruptOutput,///< exited normally but the result channel does not
+                  ///< parse (truncated or garbled)
+};
+
+const char *failureClassName(FailureClass cls);
+
+/**
+ * Classify one finished attempt. @p wallExpired is the supervisor's
+ * own knowledge that IT killed the worker at the wall cap (a SIGKILL
+ * death alone cannot distinguish the supervisor's kill from an
+ * external one). @p channelParsed says whether the result channel
+ * yielded a complete record.
+ */
+FailureClass classifyAttempt(const SubprocessStatus &status,
+                             bool wallExpired, bool channelParsed);
+
+/**
+ * True for classes where retrying the SAME configuration can plausibly
+ * succeed (a transient crash, a garbled pipe). Resource exhaustion -
+ * wall, CPU, memory - is deterministic for a fixed configuration, so
+ * those classes skip straight to the degradation ladder.
+ */
+bool isTransient(FailureClass cls);
+
+/**
+ * Backoff before retry attempt @p attempt (1-based: the delay before
+ * the first retry is attempt=1) of cell @p cellIndex: baseMs * 2^min(
+ * attempt-1, 6) plus a deterministic jitter in [0, half the base
+ * delay), derived splitmix-style from (seed, cellIndex, attempt) so a
+ * rerun of the campaign produces the identical schedule and sibling
+ * cells do not retry in lockstep.
+ */
+uint64_t backoffMillis(uint64_t baseMs, uint64_t seed, size_t cellIndex,
+                       size_t attempt);
+
+/**
+ * The graceful-degradation ladder. Level 0 is the configuration the
+ * campaign asked for; each later level trades completeness for
+ * survivability and is only entered after the previous level failed
+ * repeatedly:
+ *
+ *   0 portfolio    the requested engines (default: full proof
+ *                  portfolio racing bmc,kind,pdr)
+ *   1 bmc-only     a single BMC engine: no engine threads, the
+ *                  smallest memory footprint that can still find
+ *                  attacks and push a safe bound
+ *   2 light-passes bmc-only plus a reduced --passes pipeline (coi,dce
+ *                  only): skips the rewriting passes if those are what
+ *                  keeps crashing
+ *   3 bounded      no proof attempt, half the depth: reports an honest
+ *                  BoundedSafe at a lower bound instead of nothing
+ */
+constexpr size_t kMaxDegradeLevel = 3;
+
+/** Stable short name of a ladder level ("portfolio", "bmc-only", ...). */
+const char *degradeLevelName(size_t level);
+
+/**
+ * Rewrite @p task / @p ropts in place for ladder @p level (level 0 is
+ * the identity). Levels compose: level 3 includes the restrictions of
+ * 1 and 2.
+ */
+void applyDegradation(size_t level, VerificationTask &task,
+                      RunnerOptions &ropts);
+
+} // namespace csl::verif::campaign
+
+#endif // CSL_VERIF_CAMPAIGN_TRIAGE_H_

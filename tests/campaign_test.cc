@@ -1,0 +1,784 @@
+// Campaign-supervisor tests: checked flag parsing, the subprocess
+// primitive (rlimits must actually stop runaway workers), crash triage
+// and the deterministic backoff schedule, the degradation ladder, the
+// worker result channel, the durable manifest, and runCampaign
+// end-to-end through the workerBody test seam - including the full
+// CSL_FAULT-driven triage matrix (crash, hang, OOM, corrupt channel)
+// and resume of a half-finished manifest.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "base/faultpoint.h"
+#include "base/parse.h"
+#include "base/subprocess.h"
+#include "verif/campaign/scheduler.h"
+
+// RLIMIT_AS shrinks the whole address space; the sanitizers reserve
+// terabytes of shadow up front and abort (rather than returning null)
+// when the allocator hits the cap, so the address-space tests only run
+// in plain builds.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define CSL_SANITIZED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define CSL_SANITIZED 1
+#endif
+#endif
+
+namespace csl {
+namespace {
+
+using namespace verif::campaign;
+using mc::Verdict;
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "campaign_test_" +
+           std::to_string(getpid()) + "_" + name;
+}
+
+// --- Checked flag parsing (base/parse) ------------------------------------
+
+TEST(Parse, IntAcceptsPlainAndHexAndSign)
+{
+    EXPECT_EQ(parseInt("42"), 42);
+    EXPECT_EQ(parseInt("-7"), -7);
+    EXPECT_EQ(parseInt("0x10"), 16);
+    EXPECT_EQ(parseInt("0"), 0);
+}
+
+TEST(Parse, IntRejectsWhatAtoiSilentlyAccepts)
+{
+    // std::atoi("abc") == 0 and std::atoi("12x") == 12 - exactly the
+    // failure modes the checked parser exists to close.
+    EXPECT_FALSE(parseInt("abc").has_value());
+    EXPECT_FALSE(parseInt("12x").has_value());
+    EXPECT_FALSE(parseInt("").has_value());
+    EXPECT_FALSE(parseInt(" 12").has_value());
+    EXPECT_FALSE(parseInt("12 ").has_value());
+    EXPECT_FALSE(parseInt("99999999999999999999999").has_value());
+}
+
+TEST(Parse, UnsignedRejectsNegativeInsteadOfWrapping)
+{
+    EXPECT_EQ(parseUnsigned("18446744073709551615"),
+              UINT64_C(18446744073709551615));
+    EXPECT_FALSE(parseUnsigned("-1").has_value());
+    EXPECT_FALSE(parseUnsigned("1.5").has_value());
+}
+
+TEST(Parse, DoubleRequiresFiniteFullConsumption)
+{
+    EXPECT_DOUBLE_EQ(parseDouble("2.5").value(), 2.5);
+    EXPECT_DOUBLE_EQ(parseDouble("-0.25").value(), -0.25);
+    EXPECT_FALSE(parseDouble("1.5s").has_value());
+    EXPECT_FALSE(parseDouble("inf").has_value());
+    EXPECT_FALSE(parseDouble("nan").has_value());
+    EXPECT_FALSE(parseDouble("").has_value());
+}
+
+// --- Backoff schedule ------------------------------------------------------
+
+TEST(Backoff, DeterministicUnderFixedSeed)
+{
+    for (size_t cell = 0; cell < 4; ++cell)
+        for (size_t attempt = 1; attempt <= 5; ++attempt)
+            EXPECT_EQ(backoffMillis(500, 7, cell, attempt),
+                      backoffMillis(500, 7, cell, attempt));
+}
+
+TEST(Backoff, GrowsExponentiallyWithBoundedJitter)
+{
+    const uint64_t base = 500;
+    for (size_t attempt = 1; attempt <= 6; ++attempt) {
+        uint64_t delay = backoffMillis(base, 1, 0, attempt);
+        uint64_t floor = base << (attempt - 1);
+        EXPECT_GE(delay, floor) << "attempt " << attempt;
+        EXPECT_LT(delay, floor + base / 2) << "attempt " << attempt;
+    }
+    // The exponent saturates: attempt 100 must not shift into orbit.
+    EXPECT_LT(backoffMillis(base, 1, 0, 100), (base << 6) + base);
+}
+
+TEST(Backoff, ZeroBaseMeansNoDelay)
+{
+    EXPECT_EQ(backoffMillis(0, 1, 0, 1), 0u);
+    EXPECT_EQ(backoffMillis(0, 99, 5, 3), 0u);
+}
+
+TEST(Backoff, SiblingCellsDoNotRetryInLockstep)
+{
+    // Not all cells may share a jitter, or a whole campaign's retries
+    // stampede at once.
+    bool anyDiffer = false;
+    uint64_t first = backoffMillis(1000, 1, 0, 1);
+    for (size_t cell = 1; cell < 8; ++cell)
+        if (backoffMillis(1000, 1, cell, 1) != first)
+            anyDiffer = true;
+    EXPECT_TRUE(anyDiffer);
+}
+
+// --- Triage classification -------------------------------------------------
+
+SubprocessStatus
+exitedWith(int code)
+{
+    SubprocessStatus s;
+    s.exited = true;
+    s.exitCode = code;
+    return s;
+}
+
+SubprocessStatus
+killedBy(int sig)
+{
+    SubprocessStatus s;
+    s.signaled = true;
+    s.termSignal = sig;
+    return s;
+}
+
+TEST(Triage, ClassifiesTheWholeTaxonomy)
+{
+    EXPECT_EQ(classifyAttempt(exitedWith(0), false, true),
+              FailureClass::CleanVerdict);
+    EXPECT_EQ(classifyAttempt(killedBy(SIGKILL), true, false),
+              FailureClass::WallTimeout);
+    EXPECT_EQ(classifyAttempt(killedBy(SIGXCPU), false, false),
+              FailureClass::CpuTimeout);
+    EXPECT_EQ(classifyAttempt(exitedWith(kOomExitCode), false, false),
+              FailureClass::Oom);
+    EXPECT_EQ(classifyAttempt(killedBy(SIGSEGV), false, false),
+              FailureClass::CrashSignal);
+    EXPECT_EQ(classifyAttempt(killedBy(SIGKILL), false, false),
+              FailureClass::CrashSignal);
+    EXPECT_EQ(classifyAttempt(exitedWith(0), false, false),
+              FailureClass::CorruptOutput);
+}
+
+TEST(Triage, OnlyCrashAndCorruptOutputAreTransient)
+{
+    EXPECT_TRUE(isTransient(FailureClass::CrashSignal));
+    EXPECT_TRUE(isTransient(FailureClass::CorruptOutput));
+    EXPECT_FALSE(isTransient(FailureClass::WallTimeout));
+    EXPECT_FALSE(isTransient(FailureClass::CpuTimeout));
+    EXPECT_FALSE(isTransient(FailureClass::Oom));
+    EXPECT_FALSE(isTransient(FailureClass::CleanVerdict));
+}
+
+// --- Degradation ladder ----------------------------------------------------
+
+TEST(Ladder, LevelsAreOrderedAndNamed)
+{
+    EXPECT_STREQ(degradeLevelName(0), "portfolio");
+    EXPECT_STREQ(degradeLevelName(1), "bmc-only");
+    EXPECT_STREQ(degradeLevelName(2), "light-passes");
+    EXPECT_STREQ(degradeLevelName(3), "bounded");
+    EXPECT_EQ(kMaxDegradeLevel, 3u);
+}
+
+TEST(Ladder, EachLevelComposesThePreviousRestrictions)
+{
+    verif::VerificationTask base;
+    base.maxDepth = 24;
+    verif::RunnerOptions bopts;
+    bopts.houdiniThreads = 4;
+
+    {
+        verif::VerificationTask t = base;
+        verif::RunnerOptions r = bopts;
+        applyDegradation(0, t, r);
+        EXPECT_TRUE(r.engines.empty()); // per-stage defaults untouched
+        EXPECT_TRUE(t.tryProof);
+        EXPECT_EQ(t.maxDepth, 24u);
+    }
+    {
+        verif::VerificationTask t = base;
+        verif::RunnerOptions r = bopts;
+        applyDegradation(1, t, r);
+        ASSERT_EQ(r.engines.size(), 1u);
+        EXPECT_EQ(r.engines[0], mc::EngineKind::Bmc);
+        EXPECT_EQ(r.houdiniThreads, 1u);
+        EXPECT_TRUE(t.tryProof); // still tries to prove, just cheaper
+    }
+    {
+        verif::VerificationTask t = base;
+        verif::RunnerOptions r = bopts;
+        applyDegradation(2, t, r);
+        EXPECT_EQ(r.passes, "coi,dce");
+        ASSERT_EQ(r.engines.size(), 1u); // level 1 carried over
+    }
+    {
+        verif::VerificationTask t = base;
+        verif::RunnerOptions r = bopts;
+        applyDegradation(3, t, r);
+        EXPECT_FALSE(t.tryProof);
+        EXPECT_FALSE(t.autoStrengthen);
+        EXPECT_EQ(t.maxDepth, 12u); // half of 24
+        EXPECT_EQ(r.passes, "coi,dce");
+    }
+    {
+        // The depth floor: tiny tasks do not degrade to depth 0.
+        verif::VerificationTask t = base;
+        t.maxDepth = 5;
+        verif::RunnerOptions r = bopts;
+        applyDegradation(3, t, r);
+        EXPECT_EQ(t.maxDepth, 4u);
+    }
+}
+
+// --- Subprocess primitive --------------------------------------------------
+
+TEST(Subprocess, BodyOutputAndExitCodeComeBack)
+{
+    auto run = runSubprocess({}, 10, [](int fd) {
+        const char msg[] = "hello from the worker";
+        ssize_t ignored = write(fd, msg, sizeof(msg) - 1);
+        (void)ignored;
+        return 5;
+    });
+    ASSERT_TRUE(run.has_value());
+    EXPECT_TRUE(run->status.exited);
+    EXPECT_EQ(run->status.exitCode, 5);
+    EXPECT_FALSE(run->wallExpired);
+    EXPECT_EQ(run->channel, "hello from the worker");
+}
+
+TEST(Subprocess, WallCapKillsABlockedWorker)
+{
+    auto run = runSubprocess({}, 0.2, [](int) {
+        for (;;)
+            pause(); // burns no CPU: only the wall cap can end this
+        return 0;
+    });
+    ASSERT_TRUE(run.has_value());
+    EXPECT_TRUE(run->wallExpired);
+    EXPECT_TRUE(run->status.signaled);
+    EXPECT_EQ(classifyAttempt(run->status, run->wallExpired, false),
+              FailureClass::WallTimeout);
+}
+
+TEST(Subprocess, CpuLimitKillsARunawaySpinLoop)
+{
+    // The rlimit must do the killing: the wall allowance is far larger
+    // than the CPU cap, so if the worker survives past ~1s of spin the
+    // cap did not take.
+    SubprocessLimits limits;
+    limits.cpuSeconds = 1;
+    auto run = runSubprocess(limits, 30, [](int) {
+        volatile uint64_t sink = 0;
+        for (;;)
+            sink = sink + 1;
+        return 0;
+    });
+    ASSERT_TRUE(run.has_value());
+    EXPECT_FALSE(run->wallExpired);
+    ASSERT_TRUE(run->status.signaled);
+    EXPECT_EQ(run->status.termSignal, SIGXCPU);
+    EXPECT_GE(run->status.cpuSeconds, 0.5);
+    EXPECT_LT(run->status.cpuSeconds, 5.0);
+    EXPECT_EQ(classifyAttempt(run->status, run->wallExpired, false),
+              FailureClass::CpuTimeout);
+}
+
+#if !defined(CSL_SANITIZED)
+TEST(Subprocess, MemoryLimitTurnsAllocationIntoStructuredOom)
+{
+    SubprocessLimits limits;
+    limits.memoryBytes = 64ull << 20;
+    auto run = runSubprocess(limits, 10, [](int) {
+        // malloc + a volatile readback, not new/delete: the optimizer
+        // is allowed to elide an unobserved allocation pair entirely,
+        // which would dodge the rlimit this test exists to exercise.
+        size_t bytes = 256ull << 20;
+        char *p = static_cast<char *>(std::malloc(bytes));
+        if (!p)
+            return kOomExitCode;
+        // Touch every page so lazy overcommit cannot fake success.
+        for (size_t i = 0; i < bytes; i += 4096)
+            p[i] = char(i);
+        volatile char keep = p[bytes - 1];
+        (void)keep;
+        std::free(p);
+        return 0;
+    });
+    ASSERT_TRUE(run.has_value());
+    ASSERT_TRUE(run->status.exited);
+    EXPECT_EQ(run->status.exitCode, kOomExitCode);
+    EXPECT_EQ(classifyAttempt(run->status, run->wallExpired, false),
+              FailureClass::Oom);
+}
+#endif
+
+// --- Worker result channel -------------------------------------------------
+
+TEST(CellResultChannel, RoundTripsEveryField)
+{
+    CellResult in;
+    in.verdict = Verdict::BoundedSafe;
+    in.depth = 17;
+    in.seconds = 3.25;
+    in.conflicts = 12345;
+    in.deepestSafeBound = 16;
+    in.quarantinedWitnesses = 2;
+    in.resumedFromJournal = true;
+    in.winningEngine = "bmc";
+    in.detail = "bounded safe to depth 16\nno attack";
+
+    auto out = parseCellResult(encodeCellResult(in));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->verdict, Verdict::BoundedSafe);
+    EXPECT_EQ(out->depth, 17u);
+    EXPECT_DOUBLE_EQ(out->seconds, 3.25);
+    EXPECT_EQ(out->conflicts, 12345u);
+    EXPECT_EQ(out->deepestSafeBound, 16u);
+    EXPECT_EQ(out->quarantinedWitnesses, 2u);
+    EXPECT_TRUE(out->resumedFromJournal);
+    EXPECT_EQ(out->winningEngine, "bmc");
+    EXPECT_EQ(out->detail, "bounded safe to depth 16\nno attack");
+}
+
+TEST(CellResultChannel, EmptyStringsSurvive)
+{
+    CellResult in; // winner and detail empty
+    auto out = parseCellResult(encodeCellResult(in));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->winningEngine, "");
+    EXPECT_EQ(out->detail, "");
+}
+
+TEST(CellResultChannel, TruncatedOrGarbledChannelsAreRejected)
+{
+    CellResult in;
+    in.verdict = Verdict::Proof;
+    std::string whole = encodeCellResult(in);
+
+    // Any prefix cut before the `end` terminator must fail to parse -
+    // that is what turns a half-written pipe into CorruptOutput.
+    EXPECT_FALSE(parseCellResult("").has_value());
+    EXPECT_FALSE(parseCellResult("csl-cell-result 1\nverdict PR")
+                     .has_value());
+    EXPECT_FALSE(
+        parseCellResult(whole.substr(0, whole.size() - 5)).has_value());
+    EXPECT_FALSE(parseCellResult("verdict PROOF\nend\n").has_value());
+    EXPECT_FALSE(parseCellResult("csl-cell-result 2\nverdict PROOF\nend\n")
+                     .has_value());
+    EXPECT_FALSE(
+        parseCellResult("csl-cell-result 1\nverdict BOGUS\nend\n")
+            .has_value());
+    EXPECT_TRUE(parseCellResult(whole).has_value());
+}
+
+// --- Spec parsing ----------------------------------------------------------
+
+const char kSpecText[] =
+    "csl-campaign 1\n"
+    "# Table 2, trimmed\n"
+    "cell sodor       core=inorder scheme=shadow\n"
+    "cell delay-proof core=simpleooo defense=delay_spectre depth=20\n"
+    "cell simple-hunt core=simpleooo hunt=1 budget=60 engines=bmc\n";
+
+TEST(Spec, ParsesCellsWithDefaultsAndOverrides)
+{
+    std::string error;
+    auto spec = CampaignSpec::parse(kSpecText, &error);
+    ASSERT_TRUE(spec.has_value()) << error;
+    ASSERT_EQ(spec->cells.size(), 3u);
+    EXPECT_FALSE(spec->fingerprint.empty());
+
+    EXPECT_EQ(spec->cells[0].name, "sodor");
+    EXPECT_EQ(spec->cells[0].task.core.kind, proc::CoreKind::InOrder);
+
+    EXPECT_EQ(spec->cells[1].task.core.ooo.defense,
+              defense::Defense::DelaySpectre);
+    EXPECT_EQ(spec->cells[1].task.maxDepth, 20u);
+    EXPECT_TRUE(spec->cells[1].task.tryProof);
+
+    EXPECT_FALSE(spec->cells[2].task.tryProof);
+    EXPECT_TRUE(spec->cells[2].task.assumeSecretsDiffer);
+    EXPECT_DOUBLE_EQ(spec->cells[2].task.timeoutSeconds, 60);
+    EXPECT_EQ(spec->cells[2].ropts.engines.size(), 1u);
+}
+
+TEST(Spec, FingerprintTracksTheText)
+{
+    auto a = CampaignSpec::parse(kSpecText, nullptr);
+    auto b = CampaignSpec::parse(std::string(kSpecText) +
+                                     "cell extra core=inorder\n",
+                                 nullptr);
+    ASSERT_TRUE(a && b);
+    EXPECT_NE(a->fingerprint, b->fingerprint);
+    auto again = CampaignSpec::parse(kSpecText, nullptr);
+    EXPECT_EQ(a->fingerprint, again->fingerprint);
+}
+
+TEST(Spec, DiagnosesBadInputWithLineNumbers)
+{
+    std::string error;
+    EXPECT_FALSE(CampaignSpec::parse("cell a core=inorder\n", &error));
+    EXPECT_NE(error.find("header"), std::string::npos);
+
+    EXPECT_FALSE(CampaignSpec::parse(
+        "csl-campaign 1\ncell a core=nonsense\n", &error));
+    EXPECT_NE(error.find("unknown core"), std::string::npos);
+    EXPECT_NE(error.find("line 2"), std::string::npos);
+
+    EXPECT_FALSE(CampaignSpec::parse(
+        "csl-campaign 1\ncell a frobnicate=1\n", &error));
+    EXPECT_NE(error.find("unknown key"), std::string::npos);
+
+    EXPECT_FALSE(CampaignSpec::parse(
+        "csl-campaign 1\ncell a core=inorder\ncell a core=inorder\n",
+        &error));
+    EXPECT_NE(error.find("duplicate cell"), std::string::npos);
+
+    EXPECT_FALSE(CampaignSpec::parse(
+        "csl-campaign 1\ncell a depth=3 depth=4\n", &error));
+    EXPECT_NE(error.find("duplicate key"), std::string::npos);
+
+    EXPECT_FALSE(CampaignSpec::parse(
+        "csl-campaign 1\ncell a depth=abc\n", &error));
+    EXPECT_FALSE(CampaignSpec::parse("csl-campaign 1\n", &error));
+    EXPECT_FALSE(CampaignSpec::parse("csl-campaign 9\ncell a\n", &error));
+}
+
+// --- Manifest --------------------------------------------------------------
+
+TEST(Manifest, SaveLoadRoundTrip)
+{
+    std::string path = tmpPath("manifest_roundtrip");
+    CampaignManifest m;
+    m.specFingerprint = "deadbeef01234567";
+    m.cells.push_back({"alpha", "done", 3, 1, "PROOF", 20, 12.5, 40.25,
+                       "crash-signal"});
+    m.cells.push_back({"beta", "pending", 1, 0, "", 0, 0.5, 0.25, ""});
+    ASSERT_TRUE(m.save(path));
+
+    auto loaded = CampaignManifest::load(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->specFingerprint, "deadbeef01234567");
+    ASSERT_EQ(loaded->cells.size(), 2u);
+    EXPECT_EQ(loaded->cells[0].name, "alpha");
+    EXPECT_EQ(loaded->cells[0].status, "done");
+    EXPECT_EQ(loaded->cells[0].attempts, 3u);
+    EXPECT_EQ(loaded->cells[0].degradeLevel, 1u);
+    EXPECT_EQ(loaded->cells[0].verdict, "PROOF");
+    EXPECT_EQ(loaded->cells[0].depth, 20u);
+    EXPECT_EQ(loaded->cells[0].lastFailure, "crash-signal");
+    EXPECT_EQ(loaded->cells[1].verdict, "");
+    EXPECT_EQ(loaded->cells[1].lastFailure, "");
+    EXPECT_TRUE(loaded->cells[0].finished());
+    EXPECT_FALSE(loaded->cells[1].finished());
+    std::remove(path.c_str());
+}
+
+TEST(Manifest, LoadRejectsMissingOrForeignFiles)
+{
+    EXPECT_FALSE(
+        CampaignManifest::load(tmpPath("no_such_manifest")).has_value());
+    std::string path = tmpPath("foreign_manifest");
+    {
+        std::ofstream out(path);
+        out << "not a manifest\n";
+    }
+    EXPECT_FALSE(CampaignManifest::load(path).has_value());
+    std::remove(path.c_str());
+}
+
+TEST(Manifest, WriteFaultSiteMakesSaveFail)
+{
+    std::string path = tmpPath("manifest_fault");
+    CampaignManifest m;
+    ManifestCell only;
+    only.name = "x";
+    m.cells.push_back(only);
+    {
+        fault::ScopedFault guard("campaign.manifest-write");
+        EXPECT_FALSE(m.save(path));
+    }
+    EXPECT_TRUE(m.save(path));
+    std::remove(path.c_str());
+}
+
+// --- runCampaign through the workerBody seam -------------------------------
+
+/** A spec of @p n fast cells (the workerBody seam never runs the real
+ * verification, but budgets still size the wall caps). */
+CampaignSpec
+fabricatedSpec(size_t n, double budget = 5)
+{
+    std::string text = "csl-campaign 1\n";
+    for (size_t i = 0; i < n; ++i)
+        text += "cell c" + std::to_string(i) +
+                " core=simpleooo budget=" + std::to_string(budget) + "\n";
+    auto spec = CampaignSpec::parse(text, nullptr);
+    EXPECT_TRUE(spec.has_value());
+    return *spec;
+}
+
+/** A workerBody writing a canned PROOF; touches a per-cell marker file
+ * so tests can see (from the parent) which cells actually ran. */
+CampaignOptions
+fastOptions(const std::string &markerPrefix = "")
+{
+    CampaignOptions opts;
+    opts.backoffBaseMs = 0; // no real sleeping in unit tests
+    opts.workerBody = [markerPrefix](const CampaignCell &cell,
+                                     size_t level, int fd) {
+        if (!markerPrefix.empty()) {
+            std::ofstream mark(markerPrefix + cell.name,
+                               std::ios::app);
+            mark << level << "\n";
+        }
+        CellResult r;
+        r.verdict = Verdict::Proof;
+        r.depth = 20;
+        r.winningEngine = "bmc";
+        std::string channel = encodeCellResult(r);
+        size_t off = 0;
+        while (off < channel.size()) {
+            ssize_t n =
+                write(fd, channel.data() + off, channel.size() - off);
+            if (n <= 0)
+                break;
+            off += size_t(n);
+        }
+        return 0;
+    };
+    return opts;
+}
+
+TEST(Campaign, AllCellsSucceedFirstTry)
+{
+    fault::disarmAll();
+    CampaignSpec spec = fabricatedSpec(3);
+    CampaignReport report = runCampaign(spec, fastOptions());
+    ASSERT_EQ(report.cells.size(), 3u);
+    EXPECT_TRUE(report.complete());
+    EXPECT_FALSE(report.interrupted);
+    for (const CellReport &cell : report.cells) {
+        EXPECT_EQ(cell.status, "done");
+        EXPECT_EQ(cell.result.verdict, Verdict::Proof);
+        EXPECT_EQ(cell.attempts, 1u);
+        EXPECT_EQ(cell.degradeLevel, 0u);
+        EXPECT_TRUE(cell.failures.empty());
+    }
+}
+
+TEST(Campaign, ParallelSlotsStillReportEveryCell)
+{
+    fault::disarmAll();
+    CampaignSpec spec = fabricatedSpec(5);
+    CampaignOptions opts = fastOptions();
+    opts.workers = 3;
+    CampaignReport report = runCampaign(spec, opts);
+    ASSERT_EQ(report.cells.size(), 5u);
+    EXPECT_TRUE(report.complete());
+}
+
+/** The CSL_FAULT-driven triage matrix: arm one supervisor-side fault
+ * site, run a small campaign, and check the affected cell recovers
+ * exactly as its failure class dictates while the others are
+ * untouched. */
+struct TriageCase
+{
+    const char *site;
+    const char *wantFailure;
+    size_t wantLevel; // transient classes retry in place (level 0),
+                      // resource classes degrade one rung
+};
+
+class CampaignTriageMatrix : public testing::TestWithParam<TriageCase>
+{};
+
+TEST_P(CampaignTriageMatrix, InjuredCellRecovers)
+{
+    const TriageCase &tc = GetParam();
+    fault::disarmAll();
+    CampaignSpec spec = fabricatedSpec(2, /*budget=*/0.05);
+    CampaignOptions opts = fastOptions();
+    opts.wallSlackSeconds = 1; // the hang case ends at ~1s, not 30s
+    fault::ScopedFault guard(tc.site);
+    CampaignReport report = runCampaign(spec, opts);
+    fault::disarmAll();
+
+    ASSERT_EQ(report.cells.size(), 2u);
+    EXPECT_TRUE(report.complete())
+        << "site " << tc.site << " lost a cell";
+
+    // Exactly one cell took the injected hit (fire-once supervisor-side
+    // accounting), and it still reached a verdict on the retry.
+    size_t injured = 0;
+    for (const CellReport &cell : report.cells) {
+        EXPECT_EQ(cell.status, "done");
+        if (cell.failures.empty()) {
+            EXPECT_EQ(cell.attempts, 1u);
+            continue;
+        }
+        ++injured;
+        EXPECT_EQ(cell.attempts, 2u) << tc.site;
+        EXPECT_EQ(cell.degradeLevel, tc.wantLevel) << tc.site;
+        ASSERT_EQ(cell.failures.size(), 1u);
+        EXPECT_NE(cell.failures[0].find(tc.wantFailure),
+                  std::string::npos)
+            << "got " << cell.failures[0];
+    }
+    EXPECT_EQ(injured, 1u) << tc.site;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, CampaignTriageMatrix,
+    testing::Values(
+        TriageCase{"campaign.worker-crash", "crash-signal", 0},
+        TriageCase{"campaign.corrupt-result", "corrupt-output", 0},
+        TriageCase{"campaign.worker-oom", "oom", 1},
+        TriageCase{"campaign.worker-hang", "wall-timeout", 1}),
+    [](const testing::TestParamInfo<TriageCase> &info) {
+        std::string name = info.param.site;
+        for (char &c : name)
+            if (c == '.' || c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(Campaign, LadderExhaustionFailsTheCellButNotTheCampaign)
+{
+    fault::disarmAll();
+    CampaignSpec spec = fabricatedSpec(2);
+    CampaignOptions opts;
+    opts.backoffBaseMs = 0;
+    opts.retriesPerLevel = 0; // every failure degrades immediately
+    opts.workerBody = [](const CampaignCell &cell, size_t, int fd) {
+        if (cell.name == "c1") {
+            CellResult r;
+            r.verdict = Verdict::Proof;
+            std::string channel = encodeCellResult(r);
+            ssize_t ignored =
+                write(fd, channel.data(), channel.size());
+            (void)ignored;
+            return 0;
+        }
+        return 1; // exits cleanly but never writes: CorruptOutput
+    };
+    CampaignReport report = runCampaign(spec, opts);
+    ASSERT_EQ(report.cells.size(), 2u);
+    EXPECT_FALSE(report.complete());
+    EXPECT_EQ(report.failedCells, 1u);
+
+    const CellReport &bad = report.cells[0];
+    EXPECT_EQ(bad.status, "failed");
+    // One attempt per ladder level: 0,1,2,3.
+    EXPECT_EQ(bad.attempts, kMaxDegradeLevel + 1);
+    EXPECT_EQ(bad.degradeLevel, kMaxDegradeLevel);
+    EXPECT_EQ(report.cells[1].status, "done");
+}
+
+TEST(Campaign, ResumeSkipsFinishedCellsAndKeepsTheirHistory)
+{
+    fault::disarmAll();
+    std::string prefix = tmpPath("resume");
+    std::string marker = prefix + ".ran.";
+    CampaignSpec spec = fabricatedSpec(3);
+
+    // A half-finished campaign: c0 done (3 attempts, level 1), c1
+    // failed permanently, c2 unfinished mid-flight.
+    CampaignManifest half;
+    half.specFingerprint = spec.fingerprint;
+    half.cells.push_back(
+        {"c0", "done", 3, 1, "PROOF", 20, 9.5, 30.0, "crash-signal"});
+    half.cells.push_back(
+        {"c1", "failed", 5, 3, "", 0, 50.0, 200.0, "oom"});
+    half.cells.push_back({"c2", "pending", 2, 2, "", 0, 1.0, 4.0, ""});
+    ASSERT_TRUE(half.save(prefix + ".manifest"));
+
+    CampaignOptions opts = fastOptions(marker);
+    opts.statePrefix = prefix;
+    opts.resume = true;
+    CampaignReport report = runCampaign(spec, opts);
+
+    ASSERT_EQ(report.cells.size(), 3u);
+    // c0: adopted, not re-run, history intact.
+    EXPECT_EQ(report.cells[0].status, "done");
+    EXPECT_EQ(report.cells[0].attempts, 3u);
+    EXPECT_EQ(report.cells[0].degradeLevel, 1u);
+    EXPECT_EQ(report.cells[0].result.verdict, Verdict::Proof);
+    EXPECT_FALSE(std::ifstream(marker + "c0").good());
+    // c1: failed stays failed without another attempt.
+    EXPECT_EQ(report.cells[1].status, "failed");
+    EXPECT_EQ(report.cells[1].attempts, 5u);
+    EXPECT_FALSE(std::ifstream(marker + "c1").good());
+    // c2: re-queued at its recorded ladder position.
+    EXPECT_EQ(report.cells[2].status, "done");
+    EXPECT_EQ(report.cells[2].attempts, 3u); // 2 prior + 1 now
+    {
+        std::ifstream mark(marker + "c2");
+        ASSERT_TRUE(mark.good());
+        int level = -1;
+        mark >> level;
+        EXPECT_EQ(level, 2); // resumed at level 2, not reset to 0
+    }
+
+    // The updated manifest reflects the completed campaign.
+    auto final_manifest = CampaignManifest::load(prefix + ".manifest");
+    ASSERT_TRUE(final_manifest.has_value());
+    EXPECT_EQ(final_manifest->find("c2")->status, "done");
+
+    for (const char *name : {"c0", "c1", "c2"})
+        std::remove((marker + name).c_str());
+    std::remove((prefix + ".manifest").c_str());
+}
+
+TEST(Campaign, ResumeRejectsAManifestFromADifferentSpec)
+{
+    fault::disarmAll();
+    std::string prefix = tmpPath("resume_foreign");
+    std::string marker = prefix + ".ran.";
+    CampaignSpec spec = fabricatedSpec(2);
+
+    CampaignManifest foreign;
+    foreign.specFingerprint = "0000000000000000"; // never matches
+    foreign.cells.push_back({"c0", "done", 1, 0, "PROOF", 20, 1, 1, ""});
+    foreign.cells.push_back({"c1", "done", 1, 0, "PROOF", 20, 1, 1, ""});
+    ASSERT_TRUE(foreign.save(prefix + ".manifest"));
+
+    CampaignOptions opts = fastOptions(marker);
+    opts.statePrefix = prefix;
+    opts.resume = true;
+    CampaignReport report = runCampaign(spec, opts);
+
+    // Foreign manifest ignored: both cells really ran.
+    EXPECT_TRUE(report.complete());
+    EXPECT_TRUE(std::ifstream(marker + "c0").good());
+    EXPECT_TRUE(std::ifstream(marker + "c1").good());
+    for (const char *name : {"c0", "c1"})
+        std::remove((marker + name).c_str());
+    std::remove((prefix + ".manifest").c_str());
+}
+
+TEST(Campaign, ReportJsonCarriesTheAccounting)
+{
+    fault::disarmAll();
+    CampaignSpec spec = fabricatedSpec(1);
+    CampaignReport report = runCampaign(spec, fastOptions());
+    std::string json = reportJson(report);
+    EXPECT_NE(json.find("\"name\":\"c0\""), std::string::npos);
+    EXPECT_NE(json.find("\"status\":\"done\""), std::string::npos);
+    EXPECT_NE(json.find("\"verdict\":\"PROOF\""), std::string::npos);
+    EXPECT_NE(json.find("\"attempts\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"degradeLevelName\":\"portfolio\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"failedCells\":0"), std::string::npos);
+}
+
+} // namespace
+} // namespace csl

@@ -30,7 +30,7 @@ cmake --build "$build" -j "$jobs"
 # don't. resilience_smoke still runs under ASan below, without a ctest
 # timeout; the portfolio's concurrency is the TSan pass's job.
 ctest --test-dir "$build" --output-on-failure -j "$jobs" \
-    -E '^(resilience_smoke|portfolio_smoke|reduction_smoke)$'
+    -E '^(resilience_smoke|portfolio_smoke|reduction_smoke|campaign_smoke)$'
 
 # The fault-injection matrix exercises the runtime's recovery paths
 # (degraded solver, interrupted Houdini, SIGKILL + resume); run it under
@@ -47,6 +47,13 @@ ctest --test-dir "$build" --output-on-failure -j "$jobs" \
 # comparison to a warning, but CNF-shrink and depth identity still gate.
 "$build/tests/test_transform"
 "$build/bench/reduction_bench" --budget 45
+
+# The campaign supervisor's fork/poll/rlimit containment paths, under
+# the sanitizers: a crash-injected worker and a SIGKILLed supervisor
+# must both leave a campaign that still reports every cell. (The
+# RLIMIT_AS unit tests skip themselves in sanitized builds - shadow
+# memory and a shrunken address space do not coexist.)
+"$build/bench/campaign_smoke"
 
 # --- ThreadSanitizer pass -------------------------------------------------
 # Build only the threaded targets (plus their deps) and run the test

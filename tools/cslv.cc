@@ -8,9 +8,13 @@
  *   cslv --core boomlike --hunt --exclude-misaligned
  *   cslv --core inorder --scheme leave
  *   cslv --core simpleooo --export-btor2 out.btor2
+ *   cslv --campaign table2.campaign --workers 4 --mem-limit 4096
+ *   cslv --campaign-resume table2.campaign
  *
  * Run `cslv --help` for the full flag list.
  */
+
+#include <signal.h>
 
 #include <cstdio>
 #include <cstring>
@@ -18,11 +22,14 @@
 #include <sstream>
 #include <string>
 
+#include "base/deadline.h"
+#include "base/parse.h"
 #include "rtl/analysis/analysis.h"
 #include "rtl/btor2.h"
 #include "rtl/transform/passes.h"
 #include "shadow/baseline_builder.h"
 #include "shadow/shadow_builder.h"
+#include "verif/campaign/scheduler.h"
 #include "verif/runner.h"
 #include "verif/task.h"
 
@@ -91,6 +98,25 @@ resilience:
   --seed <n>           base SAT decision seed (0 = deterministic)
   --retries <n>        seed-perturbed re-solves after a failed witness
                        audit (default 2)
+  SIGINT/SIGTERM cancel the run cooperatively: the journal is flushed
+  and the partial verdict (deepest safe bound) is printed before exit.
+
+campaign supervisor:
+  --campaign <spec>    run a campaign: every `cell` of <spec> in its own
+                       worker process; failures are triaged per cell
+                       (timeout / OOM / crash / corrupt output), retried
+                       with backoff, and degraded down the ladder
+                       portfolio -> bmc-only -> light-passes -> bounded
+                       instead of losing the cell. Durable state lives
+                       next to the spec: <spec>.manifest and per-cell
+                       <spec>.<cell>.journal files
+  --campaign-resume <spec>  continue a killed campaign from its
+                       manifest; finished cells are not re-run
+  --workers <n>        parallel worker slots (default 1)
+  --cpu-limit <sec>    per-attempt RLIMIT_CPU for workers (default off)
+  --mem-limit <mb>     per-attempt RLIMIT_AS for workers (default off)
+  exit code: 0 when every cell reached a verdict (degraded counts),
+  1 otherwise
 
 other:
   --json                 machine-readable result on stdout
@@ -116,6 +142,61 @@ matchEq(const char *arg, const char *flag)
     if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=')
         return arg + n + 1;
     return nullptr;
+}
+
+/** Checked numeric flag values: a typo'd number is a usage error
+ * naming the flag, never a silent zero (std::atoi's failure mode). */
+long long
+needInt(const char *flag, const char *value)
+{
+    auto parsed = parseInt(value);
+    if (!parsed) {
+        std::fprintf(stderr,
+                     "bad value '%s' for %s (expected an integer)\n",
+                     value, flag);
+        std::exit(2);
+    }
+    return *parsed;
+}
+
+long long
+needIntAtLeast(const char *flag, const char *value, long long min)
+{
+    long long parsed = needInt(flag, value);
+    if (parsed < min) {
+        std::fprintf(stderr, "bad value '%s' for %s (expected >= %lld)\n",
+                     value, flag, min);
+        std::exit(2);
+    }
+    return parsed;
+}
+
+uint64_t
+needUnsigned(const char *flag, const char *value)
+{
+    auto parsed = parseUnsigned(value);
+    if (!parsed) {
+        std::fprintf(stderr,
+                     "bad value '%s' for %s (expected an unsigned "
+                     "integer)\n",
+                     value, flag);
+        std::exit(2);
+    }
+    return *parsed;
+}
+
+double
+needPositiveDouble(const char *flag, const char *value)
+{
+    auto parsed = parseDouble(value);
+    if (!parsed || *parsed <= 0) {
+        std::fprintf(stderr,
+                     "bad value '%s' for %s (expected a positive "
+                     "number)\n",
+                     value, flag);
+        std::exit(2);
+    }
+    return *parsed;
 }
 
 /** Per-verdict exit code (documented in usage()). */
@@ -198,6 +279,97 @@ resultJson(const verif::VerificationResult &result,
     return oss.str();
 }
 
+// --- Single-run signal handling -------------------------------------------
+
+/** The run's root cancellation token. The handler only flips its
+ * atomic flag; the staged runner observes it cooperatively, flushes
+ * the journal at the stage boundary, and returns the partial verdict
+ * (deepest safe bound) instead of dying mid-write. */
+Deadline g_runDeadline;
+volatile sig_atomic_t g_interruptSignal = 0;
+
+void
+onRunInterrupt(int sig)
+{
+    g_interruptSignal = sig;
+    g_runDeadline.cancel();
+}
+
+void
+installRunSignalHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = onRunInterrupt;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+// --- Campaign mode --------------------------------------------------------
+
+int
+runCampaignMode(const std::string &specPath, bool resume, size_t workers,
+                double cpuLimit, size_t memLimitBytes, bool json)
+{
+    std::string error;
+    auto spec = verif::campaign::CampaignSpec::loadFile(specPath, &error);
+    if (!spec) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+    }
+    verif::campaign::CampaignOptions copts;
+    copts.workers = workers;
+    copts.cpuLimitSeconds = cpuLimit;
+    copts.memLimitBytes = memLimitBytes;
+    copts.statePrefix = specPath;
+    copts.resume = resume;
+    if (!json)
+        copts.onEvent = [](const std::string &line) {
+            std::printf("%s\n", line.c_str());
+            std::fflush(stdout);
+        };
+
+    if (!json)
+        std::printf("campaign %s: %zu cell(s), %zu worker slot(s)%s\n",
+                    specPath.c_str(), spec->cells.size(), workers,
+                    resume ? " (resumed)" : "");
+    verif::campaign::CampaignReport report =
+        verif::campaign::runCampaign(*spec, copts);
+
+    if (json) {
+        std::printf("%s\n",
+                    verif::campaign::reportJson(report).c_str());
+    } else {
+        std::printf("\ncampaign report (%zu cells, %.1fs wall):\n",
+                    report.cells.size(), report.wallSeconds);
+        for (const verif::campaign::CellReport &cell : report.cells) {
+            std::printf("  %-24s %-8s %-12s depth=%-4zu attempts=%zu "
+                        "level=%s wall=%.1fs cpu=%.1fs%s%s\n",
+                        cell.name.c_str(), cell.status.c_str(),
+                        cell.status == "done"
+                            ? mc::verdictName(cell.result.verdict)
+                            : "-",
+                        cell.result.depth, cell.attempts,
+                        cell.degradeLevelLabel.c_str(), cell.wallSeconds,
+                        cell.cpuSeconds,
+                        cell.failures.empty() ? "" : " failures=",
+                        cell.failures.empty()
+                            ? ""
+                            : std::to_string(cell.failures.size())
+                                  .c_str());
+        }
+        std::printf("summary: %zu done, %zu failed, %zu pending%s\n",
+                    report.cells.size() - report.failedCells -
+                        report.pendingCells,
+                    report.failedCells, report.pendingCells,
+                    report.interrupted ? " (interrupted; rerun with "
+                                         "--campaign-resume)"
+                                       : "");
+    }
+    return report.complete() ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -209,9 +381,14 @@ main(int argc, char **argv)
     std::string defense_name = "none";
     std::string btor2_path;
     std::string resume_path;
+    std::string campaign_path;
+    bool campaign_resume = false;
+    size_t workers = 1;
+    double cpu_limit = 0;
+    size_t mem_limit_bytes = 0;
     bool lint_only = false;
     bool json = false;
-    int rob = -1, regs = -1, dmem = -1, imem = -1;
+    long long rob = -1, regs = -1, dmem = -1, imem = -1;
 
     for (int i = 1; i < argc; ++i) {
         auto value = [&]() -> const char * {
@@ -221,85 +398,76 @@ main(int argc, char **argv)
             }
             return argv[++i];
         };
+        // `--flag value` or `--flag=value`, uniformly.
+        auto flagValue = [&](const char *flag) -> const char * {
+            if (const char *eq = matchEq(argv[i], flag))
+                return eq;
+            if (match(argv[i], flag))
+                return value();
+            return nullptr;
+        };
         if (match(argv[i], "--help")) {
             usage();
             return 0;
-        } else if (match(argv[i], "--core")) {
-            core = value();
-        } else if (match(argv[i], "--defense")) {
-            defense_name = value();
-        } else if (match(argv[i], "--rob")) {
-            rob = std::atoi(value());
-        } else if (match(argv[i], "--regs")) {
-            regs = std::atoi(value());
-        } else if (match(argv[i], "--dmem")) {
-            dmem = std::atoi(value());
-        } else if (match(argv[i], "--imem")) {
-            imem = std::atoi(value());
-        } else if (match(argv[i], "--contract")) {
-            std::string v = value();
-            task.contract = v == "ct" || v == "constant-time"
-                                ? contract::Contract::ConstantTime
-                                : contract::Contract::Sandboxing;
-        } else if (match(argv[i], "--scheme")) {
-            std::string v = value();
-            if (v == "shadow")
-                task.scheme = verif::Scheme::ContractShadow;
-            else if (v == "baseline")
-                task.scheme = verif::Scheme::Baseline;
-            else if (v == "upec")
-                task.scheme = verif::Scheme::UpecLike;
-            else if (v == "leave")
-                task.scheme = verif::Scheme::Leave;
-            else if (v == "fuzz")
-                task.scheme = verif::Scheme::Fuzz;
-            else {
-                std::fprintf(stderr, "unknown scheme '%s'\n", v.c_str());
+        } else if (const char *v = flagValue("--core")) {
+            core = v;
+        } else if (const char *v = flagValue("--defense")) {
+            defense_name = v;
+        } else if (const char *v = flagValue("--rob")) {
+            rob = needIntAtLeast("--rob", v, 1);
+        } else if (const char *v = flagValue("--regs")) {
+            regs = needIntAtLeast("--regs", v, 1);
+        } else if (const char *v = flagValue("--dmem")) {
+            dmem = needIntAtLeast("--dmem", v, 1);
+        } else if (const char *v = flagValue("--imem")) {
+            imem = needIntAtLeast("--imem", v, 1);
+        } else if (const char *v = flagValue("--contract")) {
+            auto parsed = verif::campaign::parseContractName(v);
+            if (!parsed) {
+                std::fprintf(stderr, "unknown contract '%s'\n", v);
                 return 2;
             }
+            task.contract = *parsed;
+        } else if (const char *v = flagValue("--scheme")) {
+            auto parsed = verif::campaign::parseSchemeName(v);
+            if (!parsed) {
+                std::fprintf(stderr, "unknown scheme '%s'\n", v);
+                return 2;
+            }
+            task.scheme = *parsed;
         } else if (match(argv[i], "--hunt")) {
             task.tryProof = false;
             task.assumeSecretsDiffer = true;
             task.maxDepth = 14;
-        } else if (match(argv[i], "--depth")) {
-            task.maxDepth = size_t(std::atoi(value()));
-        } else if (match(argv[i], "--budget")) {
-            task.timeoutSeconds = std::atof(value());
-        } else if (match(argv[i], "--engines") ||
-                   matchEq(argv[i], "--engines")) {
-            const char *eq = matchEq(argv[i], "--engines");
-            std::string v = eq ? eq : value();
+        } else if (const char *v = flagValue("--depth")) {
+            task.maxDepth = size_t(needIntAtLeast("--depth", v, 1));
+        } else if (const char *v = flagValue("--budget")) {
+            task.timeoutSeconds = needPositiveDouble("--budget", v);
+        } else if (const char *v = flagValue("--engines")) {
             auto kinds = mc::parseEngineList(v);
             if (!kinds || kinds->empty()) {
                 std::fprintf(stderr,
                              "bad engine set '%s' (expected a comma-"
                              "separated subset of bmc,kind,pdr,exh)\n",
-                             v.c_str());
+                             v);
                 return 2;
             }
             ropts.engines = *kinds;
-        } else if (match(argv[i], "--passes") ||
-                   matchEq(argv[i], "--passes")) {
-            const char *eq = matchEq(argv[i], "--passes");
-            std::string v = eq ? eq : value();
+        } else if (const char *v = flagValue("--passes")) {
             if (!rtl::transform::PassManager::parsePipeline(v)) {
                 std::fprintf(stderr,
                              "bad pass pipeline '%s' (expected a comma-"
                              "separated list of constprop,structhash,"
                              "regmerge,coi,dce or default/none)\n",
-                             v.c_str());
+                             v);
                 return 2;
             }
             ropts.passes = v;
         } else if (match(argv[i], "--no-reduce")) {
             ropts.passes = "none";
-        } else if (match(argv[i], "--houdini-threads")) {
-            int n = std::atoi(value());
-            if (n < 1) {
-                std::fprintf(stderr, "--houdini-threads needs n >= 1\n");
-                return 2;
-            }
-            ropts.houdiniThreads = size_t(n);
+        } else if (const char *v = flagValue("--houdini-threads")) {
+            ropts.houdiniThreads =
+                size_t(needIntAtLeast("--houdini-threads", v, 1));
         } else if (match(argv[i], "--exclude-misaligned")) {
             task.excludeMisaligned = true;
         } else if (match(argv[i], "--exclude-oor")) {
@@ -308,18 +476,32 @@ main(int argc, char **argv)
             lint_only = true;
         } else if (match(argv[i], "--no-preflight")) {
             task.preflight = false;
-        } else if (match(argv[i], "--journal")) {
-            ropts.journalPath = value();
-        } else if (match(argv[i], "--resume")) {
-            resume_path = value();
-        } else if (match(argv[i], "--seed")) {
-            ropts.decisionSeed = std::strtoull(value(), nullptr, 0);
-        } else if (match(argv[i], "--retries")) {
-            ropts.maxAuditRetries = size_t(std::atoi(value()));
+        } else if (const char *v = flagValue("--journal")) {
+            ropts.journalPath = v;
+        } else if (const char *v = flagValue("--resume")) {
+            resume_path = v;
+        } else if (const char *v = flagValue("--seed")) {
+            ropts.decisionSeed = needUnsigned("--seed", v);
+        } else if (const char *v = flagValue("--retries")) {
+            ropts.maxAuditRetries =
+                size_t(needIntAtLeast("--retries", v, 0));
+        } else if (const char *v = flagValue("--campaign")) {
+            campaign_path = v;
+        } else if (const char *v = flagValue("--campaign-resume")) {
+            campaign_path = v;
+            campaign_resume = true;
+        } else if (const char *v = flagValue("--workers")) {
+            workers = size_t(needIntAtLeast("--workers", v, 1));
+        } else if (const char *v = flagValue("--cpu-limit")) {
+            cpu_limit = needPositiveDouble("--cpu-limit", v);
+        } else if (const char *v = flagValue("--mem-limit")) {
+            mem_limit_bytes =
+                size_t(needIntAtLeast("--mem-limit", v, 1)) * 1024 *
+                1024;
         } else if (match(argv[i], "--json")) {
             json = true;
-        } else if (match(argv[i], "--export-btor2")) {
-            btor2_path = value();
+        } else if (const char *v = flagValue("--export-btor2")) {
+            btor2_path = v;
         } else {
             std::fprintf(stderr, "unknown flag '%s' (try --help)\n",
                          argv[i]);
@@ -327,41 +509,28 @@ main(int argc, char **argv)
         }
     }
 
-    defense::Defense def;
-    if (defense_name == "none")
-        def = defense::Defense::None;
-    else if (defense_name == "nofwd_fut")
-        def = defense::Defense::NoFwdFuturistic;
-    else if (defense_name == "nofwd_spectre")
-        def = defense::Defense::NoFwdSpectre;
-    else if (defense_name == "delay_fut")
-        def = defense::Defense::DelayFuturistic;
-    else if (defense_name == "delay_spectre")
-        def = defense::Defense::DelaySpectre;
-    else if (defense_name == "dom")
-        def = defense::Defense::DoMSpectre;
-    else {
+    if (!campaign_path.empty())
+        return runCampaignMode(campaign_path, campaign_resume, workers,
+                               cpu_limit, mem_limit_bytes, json);
+
+    auto defense_parsed = verif::campaign::parseDefenseName(defense_name);
+    if (!defense_parsed) {
         std::fprintf(stderr, "unknown defense '%s'\n",
                      defense_name.c_str());
         return 2;
     }
+    defense::Defense def = *defense_parsed;
 
-    if (core == "inorder")
-        task.core = proc::inOrderSpec();
-    else if (core == "simpleooo")
-        task.core = proc::simpleOoOSpec(def);
-    else if (core == "ridelite")
-        task.core = proc::rideLiteSpec(def);
-    else if (core == "boomlike")
-        task.core = proc::boomLikeSpec(def);
-    else {
+    auto core_parsed = verif::campaign::parseCoreName(core, def);
+    if (!core_parsed) {
         std::fprintf(stderr, "unknown core '%s'\n", core.c_str());
         return 2;
     }
+    task.core = *core_parsed;
     if (rob > 0)
-        task.core.ooo.robSize = rob;
+        task.core.ooo.robSize = int(rob);
     if (regs > 0)
-        task.core.ooo.isa.regCount = regs;
+        task.core.ooo.isa.regCount = int(regs);
     if (dmem > 0)
         task.core.ooo.isa.dmemSize = size_t(dmem);
     if (imem > 0)
@@ -462,11 +631,25 @@ main(int argc, char **argv)
     verif::VerificationResult result;
     std::optional<verif::RunnerResult> runner;
     if (staged) {
+        // SIGINT/SIGTERM cancel the root deadline; the runner winds
+        // down cooperatively, flushes the journal and reports the
+        // partial verdict instead of dying mid-write.
+        ropts.deadline = g_runDeadline;
+        installRunSignalHandlers();
         runner = verif::runResilientVerification(task, ropts);
         result = runner->result;
     } else {
         result = verif::runVerification(task);
     }
+
+    if (g_interruptSignal != 0)
+        std::fprintf(stderr,
+                     "interrupted by signal %d: partial verdict below "
+                     "(journal %s)\n",
+                     int(g_interruptSignal),
+                     ropts.journalPath.empty()
+                         ? "not configured"
+                         : ropts.journalPath.c_str());
 
     if (json) {
         std::printf("%s\n",
